@@ -1,0 +1,201 @@
+// Command tables regenerates the paper's measured artifacts: Table 1
+// (old vs new), Table 4 (configurations A–F), Table 5 (system
+// comparison), the Section 2.5 alias microbenchmark, and the Section 5.1
+// overhead analysis.
+//
+// Usage:
+//
+//	tables               # everything
+//	tables -table 1      # one table
+//	tables -micro        # just the microbenchmark
+//	tables -analysis     # just the Section 5.1 analysis
+//	tables -sweep        # the parameter sweeps (memory size, purge cost)
+//	tables -scale 0.3    # scale the workloads down for a quick look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"vcache/internal/kernel"
+	"vcache/internal/policy"
+	"vcache/internal/report"
+	"vcache/internal/sim"
+	"vcache/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tables: ")
+	table := flag.Int("table", 0, "print only this table (1, 4 or 5)")
+	micro := flag.Bool("micro", false, "print only the alias microbenchmark")
+	analysis := flag.Bool("analysis", false, "print only the Section 5.1 analysis")
+	sweep := flag.Bool("sweep", false, "print only the parameter sweeps (memory size, purge cost)")
+	factor := flag.Float64("scale", 1.0, "workload scale factor (1.0 = full)")
+	writes := flag.Int("writes", 200000, "alias microbenchmark write count")
+	flag.Parse()
+
+	scale := workload.Scale{Name: "custom", Factor: *factor}
+	all := !*micro && !*analysis && !*sweep && *table == 0
+
+	if *sweep {
+		fmt.Print(sweepMemory(scale))
+		fmt.Println()
+		fmt.Print(sweepPurgeCost(scale))
+		return
+	}
+
+	if all || *table == 1 {
+		fmt.Print(table1(scale))
+		fmt.Println()
+	}
+	if all || *table == 4 {
+		fmt.Print(table4(scale))
+	}
+	if all || *table == 5 {
+		fmt.Print(table5())
+		fmt.Println()
+	}
+	if all || *micro {
+		fmt.Print(microbench(*writes))
+		fmt.Println()
+	}
+	if all || *analysis {
+		fmt.Print(analysis51(scale))
+	}
+}
+
+func table1(scale workload.Scale) string {
+	var pairs [][2]workload.Result
+	for _, w := range workload.Benchmarks() {
+		old, err := workload.RunDefault(w, policy.Old(), scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		new_, err := workload.RunDefault(w, policy.New(), scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mustClean(old)
+		mustClean(new_)
+		pairs = append(pairs, [2]workload.Result{old, new_})
+	}
+	return report.Table1(pairs)
+}
+
+func table4(scale workload.Scale) string {
+	var names []string
+	var results [][]workload.Result
+	for _, w := range workload.Benchmarks() {
+		names = append(names, w.Name)
+		var rows []workload.Result
+		for _, cfg := range policy.Configs() {
+			r, err := workload.RunDefault(w, cfg, scale)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mustClean(r)
+			rows = append(rows, r)
+		}
+		results = append(results, rows)
+	}
+	return report.Table4(names, results)
+}
+
+func table5() string {
+	measured := make(map[string]workload.Result)
+	for _, cfg := range policy.Table5Systems() {
+		w := workload.Stress(42, 1500)
+		r, err := workload.RunDefault(w, cfg, workload.Full())
+		if err != nil {
+			log.Fatal(err)
+		}
+		mustClean(r)
+		measured[cfg.Label] = r
+	}
+	return report.Table5(measured)
+}
+
+func microbench(writes int) string {
+	aligned, err := workload.RunAliasMicro(policy.New(), writes, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	unaligned, err := workload.RunAliasMicro(policy.New(), writes, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return report.Micro(aligned, unaligned)
+}
+
+func analysis51(scale workload.Scale) string {
+	var normal, fast []workload.Result
+	for _, w := range workload.Benchmarks() {
+		r, err := workload.RunDefault(w, policy.New(), scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mustClean(r)
+		normal = append(normal, r)
+
+		kcfg := kernel.DefaultConfig(policy.New())
+		kcfg.Machine.Timing = sim.FastPurgeTiming()
+		rf, err := workload.Run(w, policy.New(), scale, kcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mustClean(rf)
+		fast = append(fast, rf)
+	}
+	return report.Analysis(normal, fast, sim.HP720Timing().ClockHz)
+}
+
+func sweepMemory(scale workload.Scale) string {
+	var rows []report.MemorySweepRow
+	for _, frames := range []int{384, 512, 768, 1024, 1536, 2048, 4096} {
+		run := func(cfg policy.Config) workload.Result {
+			kc := kernel.DefaultConfig(cfg)
+			kc.Machine.Frames = frames
+			r, err := workload.Run(workload.KernelBuild(), cfg, scale, kc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mustClean(r)
+			return r
+		}
+		rows = append(rows, report.MemorySweepRow{
+			Frames: frames,
+			Old:    run(policy.Old()),
+			New:    run(policy.New()),
+		})
+	}
+	return report.MemorySweep(rows)
+}
+
+func sweepPurgeCost(scale workload.Scale) string {
+	var rows []report.PurgeCostRow
+	for _, cost := range []uint64{0, 1, 2, 4, 7, 14, 28} {
+		cfg := policy.New()
+		kc := kernel.DefaultConfig(cfg)
+		kc.Machine.Timing.LinePurgeHit = cost
+		if cost == 0 {
+			kc.Machine.Timing.LinePurgeMiss = 0
+			kc.Machine.Timing.ICachePagePurge = 1
+		}
+		r, err := workload.Run(workload.KernelBuild(), cfg, scale, kc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mustClean(r)
+		rows = append(rows, report.PurgeCostRow{LinePurgeHit: cost, Result: r})
+	}
+	return report.PurgeCostSweep(rows)
+}
+
+func mustClean(r workload.Result) {
+	if r.OracleViolations != 0 {
+		log.Fatalf("%s under %s: %d stale transfers observed — consistency bug",
+			r.Workload, r.Config.Label, r.OracleViolations)
+	}
+}

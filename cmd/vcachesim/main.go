@@ -1,0 +1,141 @@
+// Command vcachesim runs one benchmark workload under one consistency
+// configuration on the simulated HP 9000/720 and prints the full
+// statistics breakdown.
+//
+// Usage:
+//
+//	vcachesim -workload kernel-build -config F
+//	vcachesim -workload afs-bench -config Sun -scale 0.5
+//	vcachesim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vcache/internal/kernel"
+	"vcache/internal/policy"
+	"vcache/internal/sim"
+	"vcache/internal/trace"
+	"vcache/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vcachesim: ")
+	name := flag.String("workload", "kernel-build", "benchmark to run (see -list)")
+	cfgName := flag.String("config", "F", "configuration label: A..F, CMU, Utah, Tut, Apollo, Sun")
+	factor := flag.Float64("scale", 1.0, "workload scale factor")
+	list := flag.Bool("list", false, "list workloads and configurations")
+	traceN := flag.Int("trace", 0, "print the last N consistency events of the run")
+	cpus := flag.Int("cpus", 1, "processor count (Section 3.3 multiprocessor mode)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, w := range workload.Benchmarks() {
+			fmt.Printf("  %s\n", w.Name)
+		}
+		fmt.Println("configurations:")
+		for _, c := range append(policy.Configs(), policy.Table5Systems()...) {
+			fmt.Printf("  %-7s %s\n", c.Label, c.Name)
+		}
+		return
+	}
+
+	cfg, err := findConfig(*cfgName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := workload.ByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kc := kernel.DefaultConfig(cfg)
+	kc.Machine.CPUs = *cpus
+	var recorder *trace.Recorder
+	result, err := workload.RunTraced(w, cfg, workload.Scale{Name: "custom", Factor: *factor}, kc, *traceN, &recorder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := result
+	printResult(r)
+	if *traceN > 0 && recorder != nil {
+		fmt.Printf("\nlast %d consistency events:\n", len(recorder.Events()))
+		if err := recorder.Dump(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if r.OracleViolations != 0 {
+		fmt.Fprintf(os.Stderr, "CONSISTENCY VIOLATIONS: %d stale transfers observed\n", r.OracleViolations)
+		os.Exit(1)
+	}
+}
+
+func findConfig(label string) (policy.Config, error) {
+	for _, c := range append(policy.Configs(), policy.Table5Systems()...) {
+		if c.Label == label {
+			return c, nil
+		}
+	}
+	return policy.Config{}, fmt.Errorf("unknown configuration %q", label)
+}
+
+func printResult(r workload.Result) {
+	fmt.Printf("workload:  %s\n", r.Workload)
+	fmt.Printf("config:    %s (%s)\n", r.Config.Label, r.Config.Name)
+	fmt.Printf("elapsed:   %.3f simulated seconds (%d cycles)\n\n", r.Seconds, r.Cycles)
+
+	fmt.Println("cycles by category:")
+	for _, cat := range []sim.Category{sim.CatAccess, sim.CatFlush, sim.CatPurge, sim.CatFault, sim.CatDMA, sim.CatCompute} {
+		c := r.CyclesBy[cat]
+		fmt.Printf("  %-8s %12d (%5.1f%%)\n", cat, c, pct(c, r.Cycles))
+	}
+
+	s := r.PM
+	fmt.Println("\nfaults:")
+	fmt.Printf("  mapping      %8d\n", s.MappingFaults)
+	fmt.Printf("  consistency  %8d\n", s.ConsistencyFaults)
+	fmt.Printf("  modify       %8d\n", s.ModifyFaults)
+
+	fmt.Println("\ncache management:")
+	fmt.Printf("  dcache flushes  %8d (avg %4d cyc)\n", s.DFlushPages, avg(s.DFlushCycles, s.DFlushPages))
+	fmt.Printf("  dcache purges   %8d (avg %4d cyc)\n", s.DPurgePages, avg(s.DPurgeCycles, s.DPurgePages))
+	fmt.Printf("  icache purges   %8d (avg %4d cyc)\n", s.IPurgePages, avg(s.IPurgeCycles, s.IPurgePages))
+	fmt.Printf("  DMA-read flushes  %6d\n", s.DMAReadFlushes)
+	fmt.Printf("  DMA-write purges  %6d\n", s.DMAWritePurges)
+	fmt.Printf("  new-mapping purges %5d\n", s.NewMappingPurges)
+	fmt.Printf("  d→i copies      %8d\n", s.DToICopies)
+	fmt.Printf("  zero-fills      %8d\n", s.ZeroFills)
+	fmt.Printf("  page copies     %8d\n", s.PageCopies)
+
+	fmt.Println("\nI/O:")
+	fmt.Printf("  disk reads   %8d\n", r.Disk.Reads)
+	fmt.Printf("  disk writes  %8d\n", r.Disk.Writes)
+	fmt.Printf("  buffer hits  %8d\n", r.FS.Hits)
+	fmt.Printf("  buffer misses %7d\n", r.FS.Misses)
+
+	fmt.Println("\nserver:")
+	fmt.Printf("  transactions %8d\n", r.Server.Transactions)
+	fmt.Printf("  aligned channels %4d of %d\n", r.Server.AlignedChannels, r.Server.Attaches)
+
+	fmt.Println("\noracle:")
+	fmt.Printf("  transfers checked  %10d\n", r.OracleChecks)
+	fmt.Printf("  stale transfers    %10d\n", r.OracleViolations)
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b) * 100
+}
+
+func avg(c, n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return c / n
+}

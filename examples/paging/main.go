@@ -1,0 +1,69 @@
+// Paging: the default pager under memory pressure.
+//
+// A process touches a working set three times larger than physical
+// memory. The page stealer evicts pages to the swap device — each
+// pageout is a DMA-read (dirty cached data flushed first so the device
+// sees current bytes), each pagein a DMA-write (cached data purged so it
+// cannot shadow the device's data) — and every word read back is
+// verified against the oracle's shadow memory.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vcache/internal/kernel"
+	"vcache/internal/policy"
+)
+
+func main() {
+	cfg := kernel.DefaultConfig(policy.New())
+	cfg.Machine.Frames = 192 // ~0.75 MiB: pressure guaranteed
+	cfg.FS.Buffers = 32
+	k, err := kernel.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const pages = 400
+	p, err := k.Spawn(nil, 0, pages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	geom := k.Geometry()
+
+	fmt.Printf("physical memory: %d frames; working set: %d pages\n\n", cfg.Machine.Frames, pages)
+
+	// Write a distinct value into every page.
+	for pg := uint64(0); pg < pages; pg++ {
+		if err := k.M.Write(p.Space.ID, p.HeapVA(geom, pg, 1), 0xD00D<<16|pg); err != nil {
+			log.Fatal(err)
+		}
+	}
+	po, si, _ := k.VM.SwapStats()
+	fmt.Printf("after writing:  pageouts=%4d swapins=%4d swap disk writes=%d\n", po, si, k.Swap.Stats().Writes)
+
+	// Read everything back — most pages must come back from swap.
+	for pg := uint64(0); pg < pages; pg++ {
+		v, err := k.M.Read(p.Space.ID, p.HeapVA(geom, pg, 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v != 0xD00D<<16|pg {
+			log.Fatalf("page %d read %#x", pg, v)
+		}
+	}
+	po, si, _ = k.VM.SwapStats()
+	fmt.Printf("after reading:  pageouts=%4d swapins=%4d swap disk reads=%d\n", po, si, k.Swap.Stats().Reads)
+
+	s := k.PM.Stats()
+	fmt.Printf("\nconsistency work for the paging traffic:\n")
+	fmt.Printf("  DMA-read flushes (pageout):  %d\n", s.DMAReadFlushes)
+	fmt.Printf("  DMA-write purges (pagein):   %d\n", s.DMAWritePurges)
+	fmt.Printf("  consistency faults:          %d\n", s.ConsistencyFaults)
+	fmt.Printf("\noracle: %d transfers checked, %d stale — every page survived its\n",
+		k.M.Oracle.Checks(), len(k.M.Oracle.Violations()))
+	fmt.Println("round trips through the non-snooping swap device intact.")
+	if len(k.M.Oracle.Violations()) != 0 {
+		log.Fatal("stale transfer observed")
+	}
+}

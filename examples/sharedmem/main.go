@@ -1,0 +1,64 @@
+// Sharedmem: the Unix-server scenario — two address spaces exchanging
+// requests and responses over a shared page.
+//
+// The example runs the same transaction loop twice: once with the
+// shared page at caller-fixed, unaligned addresses (the original Mach
+// Unix server), and once with kernel-chosen, aligned addresses (the
+// paper's fix, configuration C's "+align pages"). It prints the cycles
+// and consistency operations per transaction for both, reproducing the
+// motivation for Section 4.2's "Shared pages in the Unix server".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vcache/internal/kernel"
+	"vcache/internal/policy"
+)
+
+func run(cfg policy.Config, transactions int) {
+	k, err := kernel.New(kernel.DefaultConfig(cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := k.Spawn(nil, 0, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Warm up the channel, then measure steady state.
+	if err := k.Syscall(p); err != nil {
+		log.Fatal(err)
+	}
+	k.M.Clock.Reset()
+	k.M.ResetStats()
+	k.PM.ResetStats()
+
+	for i := 0; i < transactions; i++ {
+		if err := k.Syscall(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	s := k.PM.Stats()
+	srv := k.Server.Stats()
+	fmt.Printf("%-28s aligned-channels=%d/%d  cycles/txn=%5d  consistency-faults/txn=%.1f  flushes=%d purges=%d\n",
+		cfg.Name, srv.AlignedChannels, srv.Attaches,
+		k.M.Clock.Cycles()/uint64(transactions),
+		float64(s.ConsistencyFaults)/float64(transactions),
+		s.DFlushPages, s.DPurgePages)
+	if n := len(k.M.Oracle.Violations()); n != 0 {
+		log.Fatalf("%d stale transfers!", n)
+	}
+}
+
+func main() {
+	const transactions = 500
+	fmt.Printf("%d server transactions over one shared page:\n\n", transactions)
+	// Configuration B: fixed (unaligned) channel addresses, lazy
+	// consistency. Configuration C adds kernel-chosen aligned ones.
+	run(policy.ConfigB(), transactions)
+	run(policy.ConfigC(), transactions)
+	fmt.Println("\nAligning the shared page eliminates the per-transaction cache")
+	fmt.Println("management entirely — the two mappings land on the same cache page,")
+	fmt.Println("and the physically tagged cache resolves them without any software help.")
+}

@@ -1,0 +1,3 @@
+module vcache
+
+go 1.22

@@ -1,0 +1,160 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHP720GeometryValid(t *testing.T) {
+	g := HP720()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("HP720 geometry invalid: %v", err)
+	}
+	if got := g.DCachePages(); got != 64 {
+		t.Errorf("DCachePages = %d, want 64", got)
+	}
+	if got := g.ICachePages(); got != 32 {
+		t.Errorf("ICachePages = %d, want 32", got)
+	}
+	if got := g.WordsPerPage(); got != 512 {
+		t.Errorf("WordsPerPage = %d, want 512", got)
+	}
+	if got := g.WordsPerLine(); got != 4 {
+		t.Errorf("WordsPerLine = %d, want 4", got)
+	}
+	if got := g.LinesPerPage(); got != 128 {
+		t.Errorf("LinesPerPage = %d, want 128", got)
+	}
+}
+
+func TestGeometryValidateRejects(t *testing.T) {
+	base := HP720()
+	cases := []struct {
+		name string
+		mut  func(*Geometry)
+	}{
+		{"zero page size", func(g *Geometry) { g.PageSize = 0 }},
+		{"non-power-of-two page", func(g *Geometry) { g.PageSize = 3000 }},
+		{"line smaller than word", func(g *Geometry) { g.LineSize = 4 }},
+		{"line larger than page", func(g *Geometry) { g.LineSize = 8192 }},
+		{"dcache smaller than page", func(g *Geometry) { g.DCacheSize = 2048 }},
+		{"icache smaller than page", func(g *Geometry) { g.ICacheSize = 2048 }},
+		{"too many cache pages", func(g *Geometry) { g.DCacheSize = 1 << 20 }},
+		{"zero line", func(g *Geometry) { g.LineSize = 0 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := base
+			c.mut(&g)
+			if err := g.Validate(); err == nil {
+				t.Errorf("Validate accepted %+v", g)
+			}
+		})
+	}
+}
+
+func TestAddressArithmetic(t *testing.T) {
+	g := HP720()
+	if got := g.PageOf(VA(0)); got != 0 {
+		t.Errorf("PageOf(0) = %d", got)
+	}
+	if got := g.PageOf(VA(4095)); got != 0 {
+		t.Errorf("PageOf(4095) = %d", got)
+	}
+	if got := g.PageOf(VA(4096)); got != 1 {
+		t.Errorf("PageOf(4096) = %d", got)
+	}
+	if got := g.PageBase(VPN(3)); got != VA(3*4096) {
+		t.Errorf("PageBase(3) = %#x", uint64(got))
+	}
+	if got := g.FrameOf(PA(5*4096 + 12)); got != 5 {
+		t.Errorf("FrameOf = %d", got)
+	}
+	if got := g.FrameBase(PFN(5)); got != PA(5*4096) {
+		t.Errorf("FrameBase = %#x", uint64(got))
+	}
+	if got := g.PageOffset(VA(4096 + 40)); got != 40 {
+		t.Errorf("PageOffset = %d", got)
+	}
+	if got := g.Translate(VA(2*4096+100), PFN(9)); got != PA(9*4096+100) {
+		t.Errorf("Translate = %#x", uint64(got))
+	}
+}
+
+// TestTranslatePreservesOffset is a property: translation never changes
+// the page offset, for any address and frame.
+func TestTranslatePreservesOffset(t *testing.T) {
+	g := HP720()
+	f := func(va uint64, pfn uint32) bool {
+		pa := g.Translate(VA(va), PFN(pfn))
+		return g.PageOffset(VA(va)) == uint64(pa)%g.PageSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheColors(t *testing.T) {
+	g := HP720()
+	// Pages 0 and 64 share color 0; page 1 has color 1.
+	if c := g.DCachePageOf(g.PageBase(0)); c != 0 {
+		t.Errorf("color of page 0 = %d", c)
+	}
+	if c := g.DCachePageOf(g.PageBase(64)); c != 0 {
+		t.Errorf("color of page 64 = %d", c)
+	}
+	if c := g.DCachePageOf(g.PageBase(1)); c != 1 {
+		t.Errorf("color of page 1 = %d", c)
+	}
+	if !g.Aligned(g.PageBase(2), g.PageBase(2+64)) {
+		t.Error("pages 2 and 66 should align")
+	}
+	if g.Aligned(g.PageBase(2), g.PageBase(3)) {
+		t.Error("pages 2 and 3 should not align")
+	}
+	// The instruction cache has half the pages, so its colors repeat
+	// twice as fast.
+	if c := g.ICachePageOf(g.PageBase(32)); c != 0 {
+		t.Errorf("icache color of page 32 = %d", c)
+	}
+}
+
+// TestAlignmentIsColorEquality is a property: two addresses align iff
+// their page numbers are congruent mod the cache page count.
+func TestAlignmentIsColorEquality(t *testing.T) {
+	g := HP720()
+	f := func(a, b uint64) bool {
+		va, vb := VA(a), VA(b)
+		want := uint64(g.PageOf(va))%g.DCachePages() == uint64(g.PageOf(vb))%g.DCachePages()
+		return g.Aligned(va, vb) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProt(t *testing.T) {
+	cases := []struct {
+		p           Prot
+		read, write bool
+		str         string
+	}{
+		{ProtNone, false, false, "none"},
+		{ProtRead, true, false, "read-only"},
+		{ProtReadWrite, true, true, "read-write"},
+	}
+	for _, c := range cases {
+		if c.p.CanRead() != c.read {
+			t.Errorf("%v CanRead = %t", c.p, c.p.CanRead())
+		}
+		if c.p.CanWrite() != c.write {
+			t.Errorf("%v CanWrite = %t", c.p, c.p.CanWrite())
+		}
+		if c.p.String() != c.str {
+			t.Errorf("%v String = %q", c.p, c.p.String())
+		}
+	}
+	if Prot(99).String() == "" {
+		t.Error("unknown Prot should still format")
+	}
+}

@@ -1,0 +1,512 @@
+// Package cache implements the simulated processor caches.
+//
+// The primary model is the one the paper targets: a direct-mapped,
+// virtually indexed, physically tagged, write-back cache with no hardware
+// support for intra-cache consistency. Because lines are selected by
+// virtual address but tagged with physical address:
+//
+//   - two virtual addresses that map to the same physical address but to
+//     different cache lines (unaligned aliases) can each hold a copy of
+//     the datum, and the copies can diverge;
+//   - a dirty line can make memory stale, and a write-back of a stale
+//     dirty line can clobber newer data in memory.
+//
+// The package also provides the Section 3.3 variants — write-through,
+// physically indexed, and set-associative — so the reduced transition
+// sets the paper derives for them can be exercised.
+//
+// The cache exports exactly the two consistency primitives the HP 9000
+// Series 700 gives the processor, at line and page granularity: flush
+// (write back if dirty, then invalidate) and purge (invalidate).
+package cache
+
+import (
+	"fmt"
+
+	"vcache/internal/arch"
+	"vcache/internal/mem"
+	"vcache/internal/sim"
+)
+
+// Indexing selects which address picks the cache set.
+type Indexing uint8
+
+const (
+	// VirtualIndex selects the set with the virtual address (VIPT).
+	VirtualIndex Indexing = iota
+	// PhysicalIndex selects the set with the physical address (PIPT).
+	PhysicalIndex
+)
+
+func (i Indexing) String() string {
+	if i == VirtualIndex {
+		return "virtual"
+	}
+	return "physical"
+}
+
+// WritePolicy selects write-back or write-through behavior.
+type WritePolicy uint8
+
+const (
+	// WriteBack marks written lines dirty and defers the memory update
+	// until the line is flushed or evicted; memory can become stale.
+	WriteBack WritePolicy = iota
+	// WriteThrough updates memory on every store; memory is never stale
+	// with respect to the cache, and the dirty state disappears.
+	WriteThrough
+)
+
+func (w WritePolicy) String() string {
+	if w == WriteBack {
+		return "write-back"
+	}
+	return "write-through"
+}
+
+// Config describes one cache.
+type Config struct {
+	Name     string // "dcache" or "icache"; used in stats output
+	Size     uint64 // capacity in bytes
+	Indexing Indexing
+	Policy   WritePolicy
+	Ways     int  // associativity; 1 = direct mapped
+	ReadOnly bool // instruction cache: Write panics
+
+	// ConstantPagePurge models the 720's instruction cache, whose page
+	// purge takes constant time regardless of contents (charged as
+	// Timing.ICachePagePurge instead of per line).
+	ConstantPagePurge bool
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Reads       uint64
+	Writes      uint64
+	Hits        uint64
+	Misses      uint64
+	WriteBacks  uint64 // dirty victim evictions + write-through stores
+	LineFlushes uint64
+	LinePurges  uint64
+	PageFlushes uint64
+	PagePurges  uint64
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   arch.PA // line-aligned physical address
+	data  []uint64
+	lru   uint64
+}
+
+// Cache is a simulated cache. It is not safe for concurrent use.
+type Cache struct {
+	cfg   Config
+	geom  arch.Geometry
+	mem   *mem.Memory
+	clock *sim.Clock
+	sets  [][]line // sets[setIndex][way]
+	nsets uint64
+	tick  uint64
+	stats Stats
+}
+
+// New builds a cache backed by memory m, charging cycles to clock.
+func New(cfg Config, m *mem.Memory, clock *sim.Clock) (*Cache, error) {
+	geom := m.Geometry()
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache %s: ways must be positive, got %d", cfg.Name, cfg.Ways)
+	}
+	if cfg.Size == 0 || cfg.Size&(cfg.Size-1) != 0 {
+		return nil, fmt.Errorf("cache %s: size %d must be a power of two", cfg.Name, cfg.Size)
+	}
+	lineBytes := geom.LineSize
+	total := cfg.Size / lineBytes
+	if total%uint64(cfg.Ways) != 0 {
+		return nil, fmt.Errorf("cache %s: %d lines not divisible by %d ways", cfg.Name, total, cfg.Ways)
+	}
+	nsets := total / uint64(cfg.Ways)
+	c := &Cache{cfg: cfg, geom: geom, mem: m, clock: clock, nsets: nsets}
+	c.sets = make([][]line, nsets)
+	for i := range c.sets {
+		ways := make([]line, cfg.Ways)
+		for w := range ways {
+			ways[w].data = make([]uint64, geom.WordsPerLine())
+		}
+		c.sets[i] = ways
+	}
+	return c, nil
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// CachePages returns the number of page-sized slices of this cache
+// (i.e. the number of cache colors for page-granularity management).
+func (c *Cache) CachePages() uint64 { return c.cfg.Size / (c.geom.PageSize * uint64(c.cfg.Ways)) }
+
+// setIndex picks the set for an access at (va, pa).
+func (c *Cache) setIndex(va arch.VA, pa arch.PA) uint64 {
+	switch c.cfg.Indexing {
+	case VirtualIndex:
+		return (uint64(va) / c.geom.LineSize) % c.nsets
+	default:
+		return (uint64(pa) / c.geom.LineSize) % c.nsets
+	}
+}
+
+func (c *Cache) lineTag(pa arch.PA) arch.PA {
+	return pa &^ arch.PA(c.geom.LineSize-1)
+}
+
+// lookup returns the way holding pa's line in set si, or nil.
+func (c *Cache) lookup(si uint64, tag arch.PA) *line {
+	set := c.sets[si]
+	for w := range set {
+		if set[w].valid && set[w].tag == tag {
+			return &set[w]
+		}
+	}
+	return nil
+}
+
+// victim picks the replacement way in set si: an invalid way if any,
+// otherwise the least recently used.
+func (c *Cache) victim(si uint64) *line {
+	set := c.sets[si]
+	var lruWay *line
+	for w := range set {
+		if !set[w].valid {
+			return &set[w]
+		}
+		if lruWay == nil || set[w].lru < lruWay.lru {
+			lruWay = &set[w]
+		}
+	}
+	return lruWay
+}
+
+// fill loads the line containing pa into way ln, writing back the victim
+// if it is dirty. This write-back is where a stale dirty line can clobber
+// newer data in memory — the hazard the consistency algorithm must prevent
+// from ever being observed.
+func (c *Cache) fill(ln *line, tag arch.PA) {
+	if ln.valid && ln.dirty {
+		c.mem.WriteLine(ln.tag, ln.data)
+		c.stats.WriteBacks++
+		c.clock.Charge(sim.CatAccess, c.clock.Timing().WriteBack)
+	}
+	c.mem.ReadLine(tag, ln.data)
+	ln.valid = true
+	ln.dirty = false
+	ln.tag = tag
+	c.clock.Charge(sim.CatAccess, c.clock.Timing().CacheMissFill)
+}
+
+// AccessInfo reports what happened during one access, for tests.
+type AccessInfo struct {
+	Hit       bool
+	WroteBack bool
+}
+
+// Read performs a CPU load of the word at (va, pa). The translation
+// pa has already been produced by the TLB; the cache checks its physical
+// tag against it exactly as the hardware does.
+func (c *Cache) Read(va arch.VA, pa arch.PA) (uint64, AccessInfo) {
+	c.stats.Reads++
+	c.tick++
+	c.clock.Charge(sim.CatAccess, c.clock.Timing().CacheHit)
+	si := c.setIndex(va, pa)
+	tag := c.lineTag(pa)
+	info := AccessInfo{}
+	ln := c.lookup(si, tag)
+	if ln == nil {
+		c.stats.Misses++
+		ln = c.victim(si)
+		if ln.valid && ln.dirty {
+			info.WroteBack = true
+		}
+		c.fill(ln, tag)
+	} else {
+		c.stats.Hits++
+		info.Hit = true
+	}
+	ln.lru = c.tick
+	off := (uint64(pa) - uint64(tag)) / arch.WordSize
+	return ln.data[off], info
+}
+
+// Write performs a CPU store of v at (va, pa).
+func (c *Cache) Write(va arch.VA, pa arch.PA, v uint64) AccessInfo {
+	if c.cfg.ReadOnly {
+		panic(fmt.Sprintf("cache %s: write to read-only cache", c.cfg.Name))
+	}
+	c.stats.Writes++
+	c.tick++
+	c.clock.Charge(sim.CatAccess, c.clock.Timing().CacheHit)
+	si := c.setIndex(va, pa)
+	tag := c.lineTag(pa)
+	info := AccessInfo{}
+	ln := c.lookup(si, tag)
+	if ln == nil {
+		c.stats.Misses++
+		ln = c.victim(si)
+		if ln.valid && ln.dirty {
+			info.WroteBack = true
+		}
+		c.fill(ln, tag)
+	} else {
+		c.stats.Hits++
+		info.Hit = true
+	}
+	ln.lru = c.tick
+	off := (uint64(pa) - uint64(tag)) / arch.WordSize
+	ln.data[off] = v
+	if c.cfg.Policy == WriteThrough {
+		c.mem.WriteWord(pa, v)
+		c.stats.WriteBacks++
+		c.clock.Charge(sim.CatAccess, c.clock.Timing().WriteBack)
+	} else {
+		ln.dirty = true
+	}
+	return info
+}
+
+// FlushLine removes the line containing (va, pa) from the cache, writing
+// it back first if dirty. It reports whether the line was present.
+func (c *Cache) FlushLine(va arch.VA, pa arch.PA) bool {
+	c.stats.LineFlushes++
+	si := c.setIndex(va, pa)
+	tag := c.lineTag(pa)
+	t := c.clock.Timing()
+	if ln := c.lookup(si, tag); ln != nil {
+		if ln.dirty {
+			c.mem.WriteLine(ln.tag, ln.data)
+			c.stats.WriteBacks++
+		}
+		ln.valid = false
+		ln.dirty = false
+		c.clock.Charge(sim.CatFlush, t.LineFlushHit)
+		return true
+	}
+	c.clock.Charge(sim.CatFlush, t.LineFlushMiss)
+	return false
+}
+
+// PurgeLine removes the line containing (va, pa) without writing it back.
+func (c *Cache) PurgeLine(va arch.VA, pa arch.PA) bool {
+	c.stats.LinePurges++
+	si := c.setIndex(va, pa)
+	tag := c.lineTag(pa)
+	t := c.clock.Timing()
+	if ln := c.lookup(si, tag); ln != nil {
+		ln.valid = false
+		ln.dirty = false
+		c.clock.Charge(sim.CatPurge, t.LinePurgeHit)
+		return true
+	}
+	c.clock.Charge(sim.CatPurge, t.LinePurgeMiss)
+	return false
+}
+
+// pageSets enumerates the set indices making up the cache page that
+// frame f's lines can occupy. For a virtually indexed cache that is the
+// caller's cache page cp (derived from the virtual address); for a
+// physically indexed cache the lines live at sets selected by the
+// physical address, so cp is ignored and the frame's own color is used.
+func (c *Cache) pageSets(cp arch.CachePage, f arch.PFN) (lo, hi uint64) {
+	if c.cfg.Indexing == PhysicalIndex {
+		cp = arch.CachePage(uint64(f) % c.CachePages())
+	}
+	linesPerPage := c.geom.LinesPerPage()
+	lo = uint64(cp) * linesPerPage
+	hi = lo + linesPerPage
+	if hi > c.nsets {
+		panic(fmt.Sprintf("cache %s: cache page %d out of range", c.cfg.Name, cp))
+	}
+	return lo, hi
+}
+
+// frameHolds reports whether tag lies within frame f.
+func (c *Cache) frameHolds(f arch.PFN, tag arch.PA) bool {
+	return c.geom.FrameOf(tag) == f
+}
+
+// FlushPage removes from cache page cp every line belonging to physical
+// frame f, writing dirty lines back. This is the page-granularity flush
+// the pmap layer uses (the set of lines a virtual page maps onto).
+func (c *Cache) FlushPage(cp arch.CachePage, f arch.PFN) {
+	c.stats.PageFlushes++
+	t := c.clock.Timing()
+	lo, hi := c.pageSets(cp, f)
+	for si := lo; si < hi; si++ {
+		set := c.sets[si]
+		hit := false
+		for w := range set {
+			ln := &set[w]
+			if ln.valid && c.frameHolds(f, ln.tag) {
+				if ln.dirty {
+					c.mem.WriteLine(ln.tag, ln.data)
+					c.stats.WriteBacks++
+				}
+				ln.valid = false
+				ln.dirty = false
+				hit = true
+			}
+		}
+		if hit {
+			c.clock.Charge(sim.CatFlush, t.LineFlushHit)
+		} else {
+			c.clock.Charge(sim.CatFlush, t.LineFlushMiss)
+		}
+	}
+}
+
+// PurgePage removes from cache page cp every line belonging to physical
+// frame f without writing anything back.
+func (c *Cache) PurgePage(cp arch.CachePage, f arch.PFN) {
+	c.stats.PagePurges++
+	t := c.clock.Timing()
+	if c.cfg.ConstantPagePurge {
+		for si, hi := c.pageSets(cp, f); si < hi; si++ {
+			set := c.sets[si]
+			for w := range set {
+				ln := &set[w]
+				if ln.valid && c.frameHolds(f, ln.tag) {
+					ln.valid = false
+					ln.dirty = false
+				}
+			}
+		}
+		c.clock.Charge(sim.CatPurge, t.ICachePagePurge)
+		return
+	}
+	lo, hi := c.pageSets(cp, f)
+	for si := lo; si < hi; si++ {
+		set := c.sets[si]
+		hit := false
+		for w := range set {
+			ln := &set[w]
+			if ln.valid && c.frameHolds(f, ln.tag) {
+				ln.valid = false
+				ln.dirty = false
+				hit = true
+			}
+		}
+		if hit {
+			c.clock.Charge(sim.CatPurge, t.LinePurgeHit)
+		} else {
+			c.clock.Charge(sim.CatPurge, t.LinePurgeMiss)
+		}
+	}
+}
+
+// PurgeAll empties the whole cache without write-back (power-up state:
+// "Initially, at power up, all cache lines for all virtual addresses are
+// in the empty state (the cache can be purged to ensure this)").
+func (c *Cache) PurgeAll() {
+	for si := range c.sets {
+		for w := range c.sets[si] {
+			c.sets[si][w].valid = false
+			c.sets[si][w].dirty = false
+		}
+	}
+}
+
+// Inspection helpers (used by the oracle, invariant checks, and tests;
+// real hardware has no such interface).
+
+// Present reports whether pa's line is valid anywhere in the cache, and
+// whether any such copy is dirty.
+func (c *Cache) Present(pa arch.PA) (present, dirty bool) {
+	tag := c.lineTag(pa)
+	for si := range c.sets {
+		for w := range c.sets[si] {
+			ln := &c.sets[si][w]
+			if ln.valid && ln.tag == tag {
+				present = true
+				if ln.dirty {
+					dirty = true
+				}
+			}
+		}
+	}
+	return present, dirty
+}
+
+// CopiesOf returns the number of distinct valid lines holding pa and how
+// many of them are dirty. More than one dirty copy means writes can be
+// lost in either order — the alias hazard of Section 2.2.
+func (c *Cache) CopiesOf(pa arch.PA) (copies, dirty int) {
+	tag := c.lineTag(pa)
+	for si := range c.sets {
+		for w := range c.sets[si] {
+			ln := &c.sets[si][w]
+			if ln.valid && ln.tag == tag {
+				copies++
+				if ln.dirty {
+					dirty++
+				}
+			}
+		}
+	}
+	return copies, dirty
+}
+
+// DirtyInFrame reports whether any valid dirty line of frame f is cached.
+func (c *Cache) DirtyInFrame(f arch.PFN) bool {
+	for si := range c.sets {
+		for w := range c.sets[si] {
+			ln := &c.sets[si][w]
+			if ln.valid && ln.dirty && c.frameHolds(f, ln.tag) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Multiprocessor snoop interface. On a cache-coherent multiprocessor the
+// paper models the per-CPU caches as one distributed set-associative
+// cache: equivalent lines (same set index, same physical tag) across
+// CPUs form a set whose consistency the *hardware* maintains. These two
+// hooks are that hardware: the machine invokes them on the peer caches
+// of the CPU performing an access. Unaligned aliases — different set
+// indexes — are deliberately untouched, exactly as on the real machines:
+// they remain the software's problem.
+
+// SnoopRead services a peer CPU's read of (setIndex si, tag): if this
+// cache holds the line dirty, it is written back to memory (and kept,
+// now clean) so the reader's fill observes current data.
+func (c *Cache) SnoopRead(si uint64, tag arch.PA) {
+	if ln := c.lookup(si, tag); ln != nil && ln.dirty {
+		c.mem.WriteLine(ln.tag, ln.data)
+		c.stats.WriteBacks++
+		ln.dirty = false
+	}
+}
+
+// SnoopInvalidate services a peer CPU's write of (setIndex si, tag): any
+// copy this cache holds is removed (written back first if dirty) so the
+// writer gains exclusive ownership.
+func (c *Cache) SnoopInvalidate(si uint64, tag arch.PA) {
+	if ln := c.lookup(si, tag); ln != nil {
+		if ln.dirty {
+			c.mem.WriteLine(ln.tag, ln.data)
+			c.stats.WriteBacks++
+		}
+		ln.valid = false
+		ln.dirty = false
+	}
+}
+
+// AccessIndex exposes the set index an access at (va, pa) selects, for
+// the machine's snoop broadcast.
+func (c *Cache) AccessIndex(va arch.VA, pa arch.PA) uint64 { return c.setIndex(va, pa) }
+
+// Tag exposes the line tag for pa, for the snoop broadcast.
+func (c *Cache) Tag(pa arch.PA) arch.PA { return c.lineTag(pa) }

@@ -1,0 +1,92 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"vcache/internal/arch"
+	"vcache/internal/core"
+	"vcache/internal/machine"
+	"vcache/internal/mem"
+	"vcache/internal/pmap"
+	"vcache/internal/policy"
+	"vcache/internal/sim"
+)
+
+// sabotagedWorld is a world whose fault handler grants access WITHOUT
+// running the consistency algorithm — the classic broken kernel that
+// assumes the cache is physically indexed. The checker must catch it;
+// if it cannot, the whole verification apparatus is vacuous.
+type sabotagedWorld struct {
+	m *machine.Machine
+	p *pmap.Pmap
+}
+
+func (w *sabotagedWorld) HandleFault(f machine.Fault) error {
+	vpn := w.m.Geom.PageOf(f.VA)
+	if f.Kind == machine.FaultModify {
+		// Even the sabotaged kernel must mark the modified bit or the
+		// machine livelocks; it just skips the consistency work.
+		return w.p.ModifyFault(f.Space, vpn)
+	}
+	// Grant whatever was asked for, with no cache management. This is
+	// what "the kernel runs under the mis-assumption that the cache is
+	// physically indexed" means without the machine-dependent fixups.
+	w.p.SetProtection(core.Mapping{
+		Space:     f.Space,
+		VPN:       vpn,
+		CachePage: arch.CachePage(uint64(vpn) % w.m.DCache.CachePages()),
+	}, arch.ProtReadWrite)
+	return nil
+}
+
+// TestSabotagedKernelIsCaught proves the verification machinery has
+// teeth: with consistency management disabled, unaligned alias traffic
+// must produce an observable stale transfer within a few operations.
+func TestSabotagedKernelIsCaught(t *testing.T) {
+	geom := tinyGeometry()
+	mc := machine.Config{
+		Geometry:   geom,
+		Frames:     8,
+		TLBSize:    8,
+		DCacheWays: 1,
+		ICacheWays: 1,
+		WithOracle: true,
+		Timing:     sim.HP720Timing(),
+	}
+	m, err := machine.New(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := mem.NewAllocator(geom, 8, 6, mem.SingleList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &sabotagedWorld{m: m, p: pmap.New(m, al, policy.New().Features)}
+	m.SetFaultHandler(w)
+	w.p.Enter(1, vpnA, frameX, arch.ProtReadWrite, pmap.KindUser)
+	w.p.Enter(1, vpnB, frameX, arch.ProtReadWrite, pmap.KindUser)
+
+	vaA := geom.PageBase(vpnA)
+	vaB := geom.PageBase(vpnB)
+	// Cache both aliases, diverge them, read back.
+	if _, err := m.Read(1, vaA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(1, vaB); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(1, vaA, 0xBAD); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(1, vaB); err != nil {
+		t.Fatal(err)
+	}
+	v := m.Oracle.Violations()
+	if len(v) == 0 {
+		t.Fatal("sabotaged kernel produced no detectable stale transfer — the oracle is vacuous")
+	}
+	if !strings.Contains(v[0].String(), "stale") {
+		t.Errorf("violation formatting: %v", v[0])
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"vcache/internal/arch"
+)
+
+// BitVec is a set of cache pages, one bit per color. The paper's
+// implementation on the 720 had 64 data cache pages, which fits exactly
+// in one machine word — the same economy this type preserves.
+type BitVec uint64
+
+// Get reports whether cache page c is in the set.
+func (b BitVec) Get(c arch.CachePage) bool { return b&(1<<uint(c)) != 0 }
+
+// Set adds cache page c.
+func (b *BitVec) Set(c arch.CachePage) { *b |= 1 << uint(c) }
+
+// Clear removes cache page c.
+func (b *BitVec) Clear(c arch.CachePage) { *b &^= 1 << uint(c) }
+
+// Count returns the number of cache pages in the set.
+func (b BitVec) Count() int { return bits.OnesCount64(uint64(b)) }
+
+// First returns the lowest-numbered cache page in the set; it panics if
+// the set is empty (the caller must check Count first — the algorithm
+// only calls this when cache_dirty implies exactly one mapped page).
+func (b BitVec) First() arch.CachePage {
+	if b == 0 {
+		panic("core: First on empty bit vector")
+	}
+	return arch.CachePage(bits.TrailingZeros64(uint64(b)))
+}
+
+// ForEach calls fn for every cache page in the set, in increasing order.
+func (b BitVec) ForEach(fn func(arch.CachePage)) {
+	for v := uint64(b); v != 0; v &= v - 1 {
+		fn(arch.CachePage(bits.TrailingZeros64(v)))
+	}
+}
+
+func (b BitVec) String() string {
+	if b == 0 {
+		return "{}"
+	}
+	var parts []string
+	b.ForEach(func(c arch.CachePage) { parts = append(parts, fmt.Sprint(uint32(c))) })
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// PageState is the consistency state the algorithm maintains for one
+// physical page (the paper's P[p] record, Table 3). It encodes the state
+// of every cache page c with respect to this physical page:
+//
+//	Mapped[c]  — cache page c may contain data from this physical page
+//	             and that data is consistent.
+//	Stale[c]   — cache page c may contain stale data from this page.
+//	CacheDirty — the page may be dirty in the (single) mapped cache page.
+//
+// The derived per-cache-page state is:
+//
+//	state  Mapped[c]  Stale[c]  CacheDirty
+//	Empty  false      false     —
+//	Present true      false     false
+//	Dirty  true       false     true
+//	Stale  false      true      —
+type PageState struct {
+	Mapped     BitVec
+	Stale      BitVec
+	CacheDirty bool
+}
+
+// StateOf decodes the consistency state of cache page c (Table 3).
+func (ps PageState) StateOf(c arch.CachePage) State {
+	switch {
+	case ps.Stale.Get(c):
+		return Stale
+	case !ps.Mapped.Get(c):
+		return Empty
+	case ps.CacheDirty:
+		return Dirty
+	default:
+		return Present
+	}
+}
+
+// DirtyCachePage returns the cache page that may hold the dirty copy of
+// the physical page. It is only meaningful when CacheDirty is true, in
+// which case exactly one cache page is mapped (the find_mapped_cache_page
+// operation of Figure 1).
+func (ps PageState) DirtyCachePage() arch.CachePage {
+	return ps.Mapped.First()
+}
+
+// CheckInvariants verifies the structural invariants of the encoding:
+//
+//  1. no cache page is simultaneously mapped and stale (the two would
+//     decode to contradictory states);
+//  2. if the page may be dirty, exactly one cache page is mapped — a
+//     physical address can be dirty in at most one cache line.
+func (ps PageState) CheckInvariants() error {
+	if ps.Mapped&ps.Stale != 0 {
+		return fmt.Errorf("core: cache pages %v both mapped and stale", BitVec(ps.Mapped&ps.Stale))
+	}
+	if ps.CacheDirty && ps.Mapped.Count() != 1 {
+		return fmt.Errorf("core: cache_dirty with %d mapped cache pages (want exactly 1)", ps.Mapped.Count())
+	}
+	return nil
+}
+
+func (ps PageState) String() string {
+	return fmt.Sprintf("mapped=%v stale=%v dirty=%t", ps.Mapped, ps.Stale, ps.CacheDirty)
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vcache/internal/arch"
+)
+
+func TestBitVecBasics(t *testing.T) {
+	var b BitVec
+	if b.Count() != 0 || b.String() != "{}" {
+		t.Error("zero vector malformed")
+	}
+	b.Set(3)
+	b.Set(63)
+	if !b.Get(3) || !b.Get(63) || b.Get(4) {
+		t.Error("Get after Set wrong")
+	}
+	if b.Count() != 2 {
+		t.Errorf("Count = %d", b.Count())
+	}
+	if b.First() != 3 {
+		t.Errorf("First = %d", b.First())
+	}
+	b.Clear(3)
+	if b.Get(3) || b.Count() != 1 || b.First() != 63 {
+		t.Error("Clear misbehaved")
+	}
+	if b.String() != "{63}" {
+		t.Errorf("String = %s", b.String())
+	}
+}
+
+func TestBitVecFirstPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("First on empty vector should panic")
+		}
+	}()
+	var b BitVec
+	b.First()
+}
+
+func TestBitVecForEachOrdered(t *testing.T) {
+	var b BitVec
+	for _, c := range []arch.CachePage{5, 1, 40} {
+		b.Set(c)
+	}
+	var got []arch.CachePage
+	b.ForEach(func(c arch.CachePage) { got = append(got, c) })
+	want := []arch.CachePage{1, 5, 40}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestBitVecMatchesSetModel is a property test: BitVec behaves as a set
+// of small integers under arbitrary operation sequences.
+func TestBitVecMatchesSetModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var b BitVec
+		model := map[arch.CachePage]bool{}
+		for _, op := range ops {
+			c := arch.CachePage(op % 64)
+			switch (op / 64) % 3 {
+			case 0:
+				b.Set(c)
+				model[c] = true
+			case 1:
+				b.Clear(c)
+				delete(model, c)
+			case 2:
+				if b.Get(c) != model[c] {
+					return false
+				}
+			}
+		}
+		if b.Count() != len(model) {
+			return false
+		}
+		ok := true
+		b.ForEach(func(c arch.CachePage) {
+			if !model[c] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTable3Encoding checks the state decoder against the paper's
+// Table 3, cell by cell.
+func TestTable3Encoding(t *testing.T) {
+	mk := func(mapped, stale, dirty bool) PageState {
+		var ps PageState
+		if mapped {
+			ps.Mapped.Set(7)
+		}
+		if stale {
+			ps.Stale.Set(7)
+		}
+		ps.CacheDirty = dirty
+		return ps
+	}
+	cases := []struct {
+		mapped, stale, dirty bool
+		want                 State
+	}{
+		{false, false, false, Empty},
+		{false, false, true, Empty}, // dirty bit moot when unmapped
+		{true, false, false, Present},
+		{true, false, true, Dirty},
+		{false, true, false, Stale},
+		{false, true, true, Stale}, // dirty bit moot when stale
+	}
+	for _, c := range cases {
+		if got := mk(c.mapped, c.stale, c.dirty).StateOf(7); got != c.want {
+			t.Errorf("mapped=%t stale=%t dirty=%t → %v, want %v",
+				c.mapped, c.stale, c.dirty, got, c.want)
+		}
+	}
+	// Other cache pages are unaffected by page 7's bits.
+	if got := mk(true, false, false).StateOf(8); got != Empty {
+		t.Errorf("unrelated cache page decoded as %v", got)
+	}
+}
+
+func TestPageStateInvariants(t *testing.T) {
+	var ok PageState
+	ok.Mapped.Set(1)
+	ok.CacheDirty = true
+	if err := ok.CheckInvariants(); err != nil {
+		t.Errorf("valid state rejected: %v", err)
+	}
+
+	var overlap PageState
+	overlap.Mapped.Set(2)
+	overlap.Stale.Set(2)
+	if overlap.CheckInvariants() == nil {
+		t.Error("mapped∧stale accepted")
+	}
+
+	var multiDirty PageState
+	multiDirty.Mapped.Set(1)
+	multiDirty.Mapped.Set(2)
+	multiDirty.CacheDirty = true
+	if multiDirty.CheckInvariants() == nil {
+		t.Error("cache_dirty with two mapped pages accepted")
+	}
+
+	var dirtyUnmapped PageState
+	dirtyUnmapped.CacheDirty = true
+	if dirtyUnmapped.CheckInvariants() == nil {
+		t.Error("cache_dirty with no mapped page accepted")
+	}
+}
+
+func TestDirtyCachePage(t *testing.T) {
+	var ps PageState
+	ps.Mapped.Set(12)
+	ps.CacheDirty = true
+	if ps.DirtyCachePage() != 12 {
+		t.Errorf("DirtyCachePage = %d", ps.DirtyCachePage())
+	}
+	if ps.String() == "" {
+		t.Error("PageState should format")
+	}
+}

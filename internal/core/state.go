@@ -1,0 +1,152 @@
+// Package core implements the paper's primary contribution: the
+// consistency model for virtually indexed write-back caches and the
+// CacheControl algorithm (Figure 1) that realizes it in software.
+//
+// For any virtual address, a cache line (and, in the implementation, a
+// whole cache page) is in one of four states with respect to the physical
+// data it maps:
+//
+//	Empty   — the line does not contain the data; an access misses and
+//	          fetches from memory.
+//	Present — the line contains the correct data.
+//	Dirty   — the line has been written by the CPU and may be
+//	          inconsistent with memory or another line.
+//	Stale   — the line's data is inconsistent with a more recently
+//	          written version in memory or another line.
+//
+// Six events change these states: CPU-read, CPU-write, DMA-read,
+// DMA-write, Purge, and Flush. The transition rules (Table 2, implemented
+// in transitions.go) guarantee that the memory system never transfers a
+// stale value to the CPU or a device, while permitting inconsistencies
+// that are never observed — which is what lets the implementation delay
+// and often omit purge and flush operations.
+package core
+
+import "fmt"
+
+// State is the consistency state of a cache line or cache page with
+// respect to a virtual address.
+type State uint8
+
+const (
+	// Empty — the cache line does not contain the data at the virtual
+	// address used to select it.
+	Empty State = iota
+	// Present — the line contains the correct data.
+	Present
+	// Dirty — the line has been written by the CPU; memory or other
+	// lines may be stale with respect to it.
+	Dirty
+	// Stale — the line's data is older than a more recently written
+	// version in memory or another line.
+	Stale
+	numStates
+)
+
+// States lists all states, for exhaustive enumeration in tests and the
+// Table 2 printer.
+var States = []State{Empty, Present, Dirty, Stale}
+
+func (s State) String() string {
+	switch s {
+	case Empty:
+		return "E"
+	case Present:
+		return "P"
+	case Dirty:
+		return "D"
+	case Stale:
+		return "S"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Long returns the spelled-out state name.
+func (s State) Long() string {
+	switch s {
+	case Empty:
+		return "empty"
+	case Present:
+		return "present"
+	case Dirty:
+		return "dirty"
+	case Stale:
+		return "stale"
+	default:
+		return s.String()
+	}
+}
+
+// Operation is an event applied to the memory system or the cache.
+type Operation uint8
+
+const (
+	// CPURead is a processor load through a virtual address.
+	CPURead Operation = iota
+	// CPUWrite is a processor store through a virtual address.
+	CPUWrite
+	// DMARead is a device reading data from the memory system.
+	DMARead
+	// DMAWrite is a device transferring data into the memory system.
+	DMAWrite
+	// OpPurge removes a line from the cache without write-back.
+	OpPurge
+	// OpFlush removes a line from the cache, writing it back if dirty.
+	OpFlush
+	numOperations
+)
+
+// Operations lists all operations for exhaustive enumeration.
+var Operations = []Operation{CPURead, CPUWrite, DMARead, DMAWrite, OpPurge, OpFlush}
+
+// MemoryOperations are the four operations that can create
+// inconsistencies (the cache-control operations Purge and Flush resolve
+// them).
+var MemoryOperations = []Operation{CPURead, CPUWrite, DMARead, DMAWrite}
+
+func (o Operation) String() string {
+	switch o {
+	case CPURead:
+		return "CPU-read"
+	case CPUWrite:
+		return "CPU-write"
+	case DMARead:
+		return "DMA-read"
+	case DMAWrite:
+		return "DMA-write"
+	case OpPurge:
+		return "Purge"
+	case OpFlush:
+		return "Flush"
+	default:
+		return fmt.Sprintf("Operation(%d)", uint8(o))
+	}
+}
+
+// Action is the cache consistency operation a transition requires.
+type Action uint8
+
+const (
+	// NoAction — the transition is pure bookkeeping.
+	NoAction Action = iota
+	// DoFlush — the line/page must be flushed (written back if dirty,
+	// then invalidated) before the operation proceeds.
+	DoFlush
+	// DoPurge — the line/page must be invalidated without write-back
+	// before the operation proceeds.
+	DoPurge
+)
+
+func (a Action) String() string {
+	switch a {
+	case NoAction:
+		return "-"
+	case DoFlush:
+		return "flush"
+	case DoPurge:
+		return "purge"
+	default:
+		return fmt.Sprintf("Action(%d)", uint8(a))
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import "fmt"
+
+// This file is the executable form of the paper's Table 2: the state
+// transitions that must occur during each operation to ensure that the
+// memory system never returns inconsistent data to either the CPU or a
+// device.
+//
+// The "target" column applies to the cache line selected by the cache
+// index function for the operation's target virtual address; the "other"
+// column applies to every cache line that maps the same physical address
+// but does not align with the target. DMA operations do not go through
+// the cache, so their target and other transitions coincide.
+
+// Transition describes one Table 2 cell: the required consistency action
+// and the resulting state.
+type Transition struct {
+	Action Action
+	Next   State
+}
+
+func (t Transition) String() string {
+	if t.Action == NoAction {
+		return t.Next.String()
+	}
+	return fmt.Sprintf("%s→%s", t.Action, t.Next)
+}
+
+// TargetTransition returns the Table 2 transition for the target cache
+// line in state s under operation op.
+func TargetTransition(op Operation, s State) Transition {
+	switch op {
+	case CPURead:
+		switch s {
+		case Empty:
+			return Transition{NoAction, Present}
+		case Present:
+			return Transition{NoAction, Present}
+		case Dirty:
+			return Transition{NoAction, Dirty}
+		case Stale:
+			// A CPU-read of a stale line requires that the line
+			// first be purged; the read then misses and fetches
+			// the fresh value from memory.
+			return Transition{DoPurge, Present}
+		}
+	case CPUWrite:
+		switch s {
+		case Empty, Present, Dirty:
+			// A CPU-write forces an empty, present, or dirty
+			// line into the dirty state.
+			return Transition{NoAction, Dirty}
+		case Stale:
+			// As with a CPU-read, a CPU-write to a stale line
+			// requires purging (unless the line will be entirely
+			// overwritten — the will_overwrite optimization,
+			// applied by the implementation, not the model).
+			return Transition{DoPurge, Dirty}
+		}
+	case DMARead:
+		switch s {
+		case Empty:
+			return Transition{NoAction, Empty}
+		case Present:
+			return Transition{NoAction, Present}
+		case Dirty:
+			// The most recent data is in the cache; it must be
+			// flushed so the device reads it from memory. After
+			// the flush, memory is consistent: present.
+			return Transition{DoFlush, Present}
+		case Stale:
+			return Transition{NoAction, Stale}
+		}
+	case DMAWrite:
+		switch s {
+		case Empty:
+			return Transition{NoAction, Empty}
+		case Present:
+			// The device overwrites memory; the cached copy
+			// becomes stale.
+			return Transition{NoAction, Stale}
+		case Dirty:
+			// A DMA-write under a dirty cache line only requires
+			// a purge rather than a flush, since the DMA-write
+			// will overwrite the data in memory anyway.
+			return Transition{DoPurge, Empty}
+		case Stale:
+			return Transition{NoAction, Stale}
+		}
+	case OpPurge, OpFlush:
+		// Purge and flush remove the line from the cache; flush first
+		// writes a dirty line back. Either way the line is empty.
+		return Transition{NoAction, Empty}
+	}
+	panic(fmt.Sprintf("core: no transition for %v in state %v", op, s))
+}
+
+// OtherTransition returns the Table 2 transition for a cache line that
+// maps the same physical address as the target but does not align with
+// it.
+func OtherTransition(op Operation, s State) Transition {
+	switch op {
+	case CPURead:
+		switch s {
+		case Empty:
+			return Transition{NoAction, Empty}
+		case Present:
+			return Transition{NoAction, Present}
+		case Dirty:
+			// The most recently written data must reach memory
+			// before the target line fills from it.
+			return Transition{DoFlush, Empty}
+		case Stale:
+			return Transition{NoAction, Stale}
+		}
+	case CPUWrite:
+		switch s {
+		case Empty:
+			return Transition{NoAction, Empty}
+		case Present:
+			// The write makes every unaligned copy stale.
+			return Transition{NoAction, Stale}
+		case Dirty:
+			return Transition{DoFlush, Empty}
+		case Stale:
+			return Transition{NoAction, Stale}
+		}
+	case DMARead, DMAWrite:
+		// DMA does not go through the cache, so all cache lines that
+		// contain the physical address share the same transitions.
+		return TargetTransition(op, s)
+	case OpPurge, OpFlush:
+		// Cache control operations affect only their target line.
+		return Transition{NoAction, s}
+	}
+	panic(fmt.Sprintf("core: no transition for %v in state %v", op, s))
+}

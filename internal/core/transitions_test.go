@@ -1,0 +1,258 @@
+package core
+
+import "testing"
+
+// TestTable2Target checks the executable model cell-by-cell against the
+// paper's Table 2, target-line column.
+func TestTable2Target(t *testing.T) {
+	want := map[Operation]map[State]Transition{
+		CPURead: {
+			Empty:   {NoAction, Present},
+			Present: {NoAction, Present},
+			Dirty:   {NoAction, Dirty},
+			Stale:   {DoPurge, Present},
+		},
+		CPUWrite: {
+			Empty:   {NoAction, Dirty},
+			Present: {NoAction, Dirty},
+			Dirty:   {NoAction, Dirty},
+			Stale:   {DoPurge, Dirty},
+		},
+		DMARead: {
+			Empty:   {NoAction, Empty},
+			Present: {NoAction, Present},
+			Dirty:   {DoFlush, Present},
+			Stale:   {NoAction, Stale},
+		},
+		DMAWrite: {
+			Empty:   {NoAction, Empty},
+			Present: {NoAction, Stale},
+			Dirty:   {DoPurge, Empty},
+			Stale:   {NoAction, Stale},
+		},
+		OpPurge: {
+			Empty: {NoAction, Empty}, Present: {NoAction, Empty},
+			Dirty: {NoAction, Empty}, Stale: {NoAction, Empty},
+		},
+		OpFlush: {
+			Empty: {NoAction, Empty}, Present: {NoAction, Empty},
+			Dirty: {NoAction, Empty}, Stale: {NoAction, Empty},
+		},
+	}
+	for op, cells := range want {
+		for s, w := range cells {
+			if got := TargetTransition(op, s); got != w {
+				t.Errorf("target %v in %v: got %v, want %v", op, s, got, w)
+			}
+		}
+	}
+}
+
+// TestTable2Other checks the unaligned-alias column.
+func TestTable2Other(t *testing.T) {
+	want := map[Operation]map[State]Transition{
+		CPURead: {
+			Empty:   {NoAction, Empty},
+			Present: {NoAction, Present},
+			Dirty:   {DoFlush, Empty},
+			Stale:   {NoAction, Stale},
+		},
+		CPUWrite: {
+			Empty:   {NoAction, Empty},
+			Present: {NoAction, Stale},
+			Dirty:   {DoFlush, Empty},
+			Stale:   {NoAction, Stale},
+		},
+	}
+	for op, cells := range want {
+		for s, w := range cells {
+			if got := OtherTransition(op, s); got != w {
+				t.Errorf("other %v in %v: got %v, want %v", op, s, got, w)
+			}
+		}
+	}
+	// DMA does not go through the cache: target and other transitions
+	// coincide for every state.
+	for _, op := range []Operation{DMARead, DMAWrite} {
+		for _, s := range States {
+			if OtherTransition(op, s) != TargetTransition(op, s) {
+				t.Errorf("%v: DMA other/target transitions differ in state %v", op, s)
+			}
+		}
+	}
+	// Cache control operations leave other lines alone.
+	for _, op := range []Operation{OpPurge, OpFlush} {
+		for _, s := range States {
+			if got := OtherTransition(op, s); got.Next != s || got.Action != NoAction {
+				t.Errorf("%v other transition modified state %v: %v", op, s, got)
+			}
+		}
+	}
+}
+
+// TestNoTransitionLeavesStaleReadable encodes the correctness argument
+// of Section 3.2 structurally: after any memory operation's transition,
+// a line the operation would have consumed is never left in a state that
+// hands out stale data — a stale target of a CPU access must have been
+// purged, and a dirty unaligned line under any operation that reads
+// memory must have been flushed or purged first.
+func TestNoTransitionLeavesStaleReadable(t *testing.T) {
+	for _, op := range []Operation{CPURead, CPUWrite} {
+		tr := TargetTransition(op, Stale)
+		if tr.Action != DoPurge {
+			t.Errorf("%v of a stale target must purge, got %v", op, tr.Action)
+		}
+		if tr.Next == Stale {
+			t.Errorf("%v left the target stale", op)
+		}
+	}
+	// Reads that bypass the cache (DMA-read) must flush dirty data.
+	if tr := TargetTransition(DMARead, Dirty); tr.Action != DoFlush {
+		t.Errorf("DMA-read over dirty data must flush, got %v", tr.Action)
+	}
+	// A CPU access that fills from memory must have flushed any
+	// unaligned dirty copy first.
+	for _, op := range []Operation{CPURead, CPUWrite} {
+		if tr := OtherTransition(op, Dirty); tr.Action != DoFlush {
+			t.Errorf("%v with an unaligned dirty copy must flush it, got %v", op, tr.Action)
+		}
+	}
+}
+
+// TestAtMostOneDirty verifies the invariant the correctness argument
+// leans on: "data corresponding to a physical address is dirty in at
+// most one cache line (one for CPU-write, zero for DMA-write)". We model
+// a set of lines (one target + n others) and apply every operation from
+// every reachable state combination.
+func TestAtMostOneDirty(t *testing.T) {
+	type world struct {
+		target State
+		others [2]State
+	}
+	countDirty := func(w world) int {
+		n := 0
+		if w.target == Dirty {
+			n++
+		}
+		for _, s := range w.others {
+			if s == Dirty {
+				n++
+			}
+		}
+		return n
+	}
+	apply := func(w world, op Operation) world {
+		w.target = TargetTransition(op, w.target).Next
+		for i, s := range w.others {
+			w.others[i] = OtherTransition(op, s).Next
+		}
+		return w
+	}
+	// Explore exhaustively from the power-up state.
+	start := world{Empty, [2]State{Empty, Empty}}
+	seen := map[world]bool{start: true}
+	frontier := []world{start}
+	for len(frontier) > 0 {
+		w := frontier[0]
+		frontier = frontier[1:]
+		for _, op := range Operations {
+			nw := apply(w, op)
+			if countDirty(nw) > 1 {
+				t.Fatalf("%v applied to %+v yields %+v with multiple dirty lines", op, w, nw)
+			}
+			if op == DMAWrite && countDirty(nw) != 0 {
+				t.Fatalf("DMA-write left dirty lines: %+v", nw)
+			}
+			if !seen[nw] {
+				seen[nw] = true
+				frontier = append(frontier, nw)
+			}
+		}
+	}
+	if len(seen) < 4 {
+		t.Fatalf("state exploration degenerate: %d worlds", len(seen))
+	}
+}
+
+func TestVariantWriteThroughHasNoDirtyNoFlush(t *testing.T) {
+	for _, op := range MemoryOperations {
+		for _, s := range States {
+			tt := VariantTarget(WriteThroughVI, op, s)
+			if tt.Next == Dirty {
+				t.Errorf("write-through target %v/%v reaches Dirty", op, s)
+			}
+			if tt.Action == DoFlush {
+				t.Errorf("write-through target %v/%v requires a flush", op, s)
+			}
+			ot := VariantOther(WriteThroughVI, op, s)
+			if ot.Next == Dirty || ot.Action == DoFlush {
+				t.Errorf("write-through other %v/%v: %v", op, s, ot)
+			}
+		}
+	}
+}
+
+func TestVariantPhysicallyIndexedHasNoOtherColumn(t *testing.T) {
+	if VariantHasOtherColumn(WriteBackPI) || VariantHasOtherColumn(WriteThroughPI) {
+		t.Error("physically indexed variants should have no unaligned-alias column")
+	}
+	if !VariantHasOtherColumn(WriteBackVI) {
+		t.Error("the base model must have the alias column")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("VariantOther on a PI variant should panic")
+		}
+	}()
+	VariantOther(WriteBackPI, CPURead, Empty)
+}
+
+// TestVariantPIOnlyDMACreatesWork: with a physically indexed cache, only
+// the DMA operations can require cache management on first access from
+// the empty/present/dirty states.
+func TestVariantPIOnlyDMACreatesWork(t *testing.T) {
+	for _, s := range []State{Empty, Present, Dirty} {
+		for _, op := range []Operation{CPURead, CPUWrite} {
+			if tr := VariantTarget(WriteBackPI, op, s); tr.Action != NoAction {
+				t.Errorf("PI %v in %v requires %v", op, s, tr.Action)
+			}
+		}
+	}
+	if tr := VariantTarget(WriteBackPI, DMARead, Dirty); tr.Action != DoFlush {
+		t.Error("PI DMA-read over dirty data must still flush")
+	}
+	if tr := VariantTarget(WriteBackPI, DMAWrite, Dirty); tr.Action != DoPurge {
+		t.Error("PI DMA-write under dirty data must still purge")
+	}
+}
+
+func TestFoldDMA(t *testing.T) {
+	if FoldDMA(DMARead) != CPURead || FoldDMA(DMAWrite) != CPUWrite {
+		t.Error("DMA operations must fold onto CPU operations")
+	}
+	for _, op := range []Operation{CPURead, CPUWrite, OpPurge, OpFlush} {
+		if FoldDMA(op) != op {
+			t.Errorf("FoldDMA changed %v", op)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Empty.String() != "E" || Stale.Long() != "stale" {
+		t.Error("state formatting")
+	}
+	if CPURead.String() != "CPU-read" || DMAWrite.String() != "DMA-write" {
+		t.Error("operation formatting")
+	}
+	if DoFlush.String() != "flush" || NoAction.String() != "-" {
+		t.Error("action formatting")
+	}
+	if (Transition{DoPurge, Present}).String() != "purge→P" {
+		t.Errorf("transition formatting: %v", Transition{DoPurge, Present})
+	}
+	for _, v := range Variants {
+		if v.String() == "" {
+			t.Error("variant formatting")
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package dma models the DMA-based I/O devices of the simulated machine.
+//
+// The only device the benchmarks need is a disk. Transfers move whole
+// page-sized blocks between device storage and physical memory through
+// the machine's DMA port, which bypasses the caches — the device sees
+// only what is in memory, never what is in the cache, exactly the
+// consistency hazard of Section 2.4. The kernel must run the consistency
+// algorithm (pmap.PrepareDMAWrite / PrepareDMARead) before scheduling a
+// transfer; the disk itself performs no cache management.
+package dma
+
+import (
+	"fmt"
+
+	"vcache/internal/arch"
+	"vcache/internal/machine"
+	"vcache/internal/sim"
+)
+
+// BlockID names one disk block (one page-sized unit).
+type BlockID uint64
+
+// Stats counts disk activity.
+type Stats struct {
+	Reads  uint64 // disk reads = DMA-writes into memory
+	Writes uint64 // disk writes = DMA-reads out of memory
+}
+
+// Disk is a block device transferring whole pages by DMA.
+type Disk struct {
+	m      *machine.Machine
+	geom   arch.Geometry
+	blocks map[BlockID][]uint64
+	next   BlockID
+	stats  Stats
+}
+
+// NewDisk creates an empty disk attached to machine m.
+func NewDisk(m *machine.Machine) *Disk {
+	return &Disk{m: m, geom: m.Geom, blocks: make(map[BlockID][]uint64)}
+}
+
+// Stats returns a snapshot of the counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// AllocBlock reserves a fresh, zeroed block.
+func (d *Disk) AllocBlock() BlockID {
+	id := d.next
+	d.next++
+	d.blocks[id] = make([]uint64, d.geom.WordsPerPage())
+	return id
+}
+
+// ReadBlock transfers block b from the disk into frame f by DMA
+// (a DMA-write from the memory system's point of view). The caller must
+// have prepared the frame with pmap.PrepareDMAWrite.
+func (d *Disk) ReadBlock(b BlockID, f arch.PFN) error {
+	data, ok := d.blocks[b]
+	if !ok {
+		return fmt.Errorf("dma: read of unallocated block %d", b)
+	}
+	d.stats.Reads++
+	d.m.Clock.Charge(sim.CatDMA, d.m.Clock.Timing().DiskAccess)
+	d.m.DMAWrite(d.geom.FrameBase(f), data)
+	return nil
+}
+
+// WriteBlock transfers frame f to block b by DMA (a DMA-read from the
+// memory system's point of view). The caller must have prepared the
+// frame with pmap.PrepareDMARead so dirty cache data reaches memory
+// first.
+func (d *Disk) WriteBlock(b BlockID, f arch.PFN) error {
+	if _, ok := d.blocks[b]; !ok {
+		return fmt.Errorf("dma: write of unallocated block %d", b)
+	}
+	d.stats.Writes++
+	d.m.Clock.Charge(sim.CatDMA, d.m.Clock.Timing().DiskAccess)
+	d.blocks[b] = d.m.DMARead(d.geom.FrameBase(f), int(d.geom.WordsPerPage()))
+	return nil
+}
+
+// Peek returns a copy of a block's current content (tests only).
+func (d *Disk) Peek(b BlockID) ([]uint64, bool) {
+	data, ok := d.blocks[b]
+	if !ok {
+		return nil, false
+	}
+	out := make([]uint64, len(data))
+	copy(out, data)
+	return out, true
+}
+
+// ResetStats zeroes the disk counters.
+func (d *Disk) ResetStats() { d.stats = Stats{} }

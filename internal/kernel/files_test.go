@@ -1,0 +1,79 @@
+package kernel
+
+import (
+	"testing"
+
+	"vcache/internal/policy"
+)
+
+// TestFileSyscallLifecycle covers the file syscall surface end to end:
+// create, open, write, read, remove — each paying its server
+// transaction — plus the workload think-time hook.
+func TestFileSyscallLifecycle(t *testing.T) {
+	k := bootT(t, policy.New())
+	p, err := k.Spawn(nil, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := k.Server.Stats().Transactions
+
+	f, err := k.CreateFile(p, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.CreateFile(p, "a"); err == nil {
+		t.Error("duplicate create accepted")
+	}
+	got, err := k.OpenFile(p, "a")
+	if err != nil || got != f {
+		t.Fatalf("open = %v, %v", got, err)
+	}
+	if _, err := k.OpenFile(p, "missing"); err == nil {
+		t.Error("open of missing file accepted")
+	}
+	if err := k.TouchHeap(p, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.WriteFilePage(p, f, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.ReadFilePage(p, f, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RemoveFile(p, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RemoveFile(p, "a"); err == nil {
+		t.Error("double remove accepted")
+	}
+	if _, err := k.OpenFile(p, "a"); err == nil {
+		t.Error("open after remove accepted")
+	}
+	// Every call above went through the Unix server channel.
+	if after := k.Server.Stats().Transactions; after-before < 8 {
+		t.Errorf("only %d server transactions for 9 syscalls", after-before)
+	}
+
+	cycles := k.M.Clock.Cycles()
+	k.Compute(12345)
+	if k.M.Clock.Cycles() != cycles+12345 {
+		t.Error("Compute did not charge cycles")
+	}
+	checkClean(t, k, policy.New())
+}
+
+// TestReadPastEOFErrors covers the error path of a read beyond the file.
+func TestReadPastEOFErrors(t *testing.T) {
+	k := bootT(t, policy.New())
+	p, _ := k.Spawn(nil, 0, 4)
+	f, err := k.CreateFile(p, "short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.ReadFilePage(p, f, 3, 0); err == nil {
+		t.Error("read past EOF accepted")
+	}
+	if err := k.ReadFilePageDirect(p, f, 3, 0); err == nil {
+		t.Error("direct read past EOF accepted")
+	}
+}

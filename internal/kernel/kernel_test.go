@@ -1,0 +1,151 @@
+package kernel
+
+import (
+	"testing"
+
+	"vcache/internal/policy"
+)
+
+// bootT boots a kernel under the given policy configuration, failing the
+// test on error.
+func bootT(t *testing.T, cfg policy.Config) *Kernel {
+	t.Helper()
+	k, err := New(DefaultConfig(cfg))
+	if err != nil {
+		t.Fatalf("boot %s: %v", cfg.Label, err)
+	}
+	return k
+}
+
+// checkClean asserts the oracle saw no stale transfers and the pmap
+// invariants hold.
+func checkClean(t *testing.T, k *Kernel, cfg policy.Config) {
+	t.Helper()
+	if v := k.M.Oracle.Violations(); len(v) != 0 {
+		t.Fatalf("%s: %d stale transfers, first: %v", cfg.Label, len(v), v[0])
+	}
+	if err := k.PM.CheckInvariants(); err != nil {
+		t.Fatalf("%s: %v", cfg.Label, err)
+	}
+}
+
+// TestSmokeAllConfigs drives a small but complete scenario — process
+// creation, heap zero-fill, file write/read through the buffer cache and
+// disk, text execution, IPC transfer, fork with COW, exit and frame
+// recycling — under every lettered configuration and every Table 5
+// system, verifying that no stale data is ever transferred.
+func TestSmokeAllConfigs(t *testing.T) {
+	configs := append(policy.Configs(), policy.Table5Systems()...)
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.Label, func(t *testing.T) {
+			k := bootT(t, cfg)
+
+			// Build a text image on disk.
+			img, err := k.FS.Create("bin/tool")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := k.WriteFileContent(img, 3); err != nil {
+				t.Fatalf("write text image: %v", err)
+			}
+			if err := k.FS.Sync(); err != nil {
+				t.Fatal(err)
+			}
+
+			p1, err := k.Spawn(img, 3, 8)
+			if err != nil {
+				t.Fatalf("spawn: %v", err)
+			}
+			if err := k.RunText(p1, 16); err != nil {
+				t.Fatalf("run text: %v", err)
+			}
+			for pg := uint64(0); pg < 4; pg++ {
+				if err := k.TouchHeap(p1, pg, 32); err != nil {
+					t.Fatalf("touch heap: %v", err)
+				}
+				if err := k.ReadHeap(p1, pg, 32); err != nil {
+					t.Fatalf("read heap: %v", err)
+				}
+			}
+
+			// File round trip.
+			data, err := k.CreateFile(p1, "tmp/data")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := k.WriteFilePage(p1, data, 0, 0); err != nil {
+				t.Fatalf("write file: %v", err)
+			}
+			if err := k.ReadFilePage(p1, data, 0, 1); err != nil {
+				t.Fatalf("read file: %v", err)
+			}
+
+			// IPC page transfer to a second process.
+			p2, err := k.Spawn(nil, 0, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := k.TouchHeap(p1, 2, 64); err != nil {
+				t.Fatal(err)
+			}
+			vpn, err := k.SendHeapPage(p1, 2, p2)
+			if err != nil {
+				t.Fatalf("ipc transfer: %v", err)
+			}
+			if err := k.ReadPage(p2, vpn, 64); err != nil {
+				t.Fatalf("ipc read: %v", err)
+			}
+			if err := k.WritePage(p2, vpn, 16); err != nil {
+				t.Fatalf("ipc write: %v", err)
+			}
+
+			// Fork: child writes COW heap pages.
+			child, err := k.Fork(p1)
+			if err != nil {
+				t.Fatalf("fork: %v", err)
+			}
+			if err := k.ReadHeap(child, 0, 16); err != nil {
+				t.Fatalf("child read: %v", err)
+			}
+			if err := k.TouchHeap(child, 0, 16); err != nil {
+				t.Fatalf("child COW write: %v", err)
+			}
+			if err := k.ReadHeap(p1, 0, 16); err != nil {
+				t.Fatalf("parent read after COW: %v", err)
+			}
+
+			// Exit everything; frames recycle through the free list.
+			k.Exit(child)
+			k.Exit(p2)
+			k.Exit(p1)
+
+			// Respawn to force recycled-frame preparation.
+			p3, err := k.Spawn(img, 3, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := k.RunText(p3, 8); err != nil {
+				t.Fatalf("respawn text: %v", err)
+			}
+			for pg := uint64(0); pg < 8; pg++ {
+				if err := k.TouchHeap(p3, pg, 16); err != nil {
+					t.Fatal(err)
+				}
+				if err := k.ReadHeap(p3, pg, 16); err != nil {
+					t.Fatal(err)
+				}
+			}
+			k.Exit(p3)
+
+			if err := k.FS.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			checkClean(t, k, cfg)
+
+			if k.M.Oracle.Checks() == 0 {
+				t.Fatal("oracle performed no checks — harness wired wrong")
+			}
+		})
+	}
+}

@@ -1,0 +1,298 @@
+package kernel
+
+import (
+	"fmt"
+
+	"vcache/internal/arch"
+	"vcache/internal/fs"
+	"vcache/internal/vm"
+)
+
+// This file is the syscall surface the workloads drive. Every Unix-style
+// call first performs a server transaction over the process' shared
+// channel page (the syscall request/response), then does the kernel-side
+// work; that is how the paper's benchmarks, which are plain Unix
+// programs, end up exercising the cache-consistency machinery
+// indirectly.
+
+// syscall request/response sizes in words.
+const (
+	syscallReqWords  = 16
+	syscallRespWords = 8
+)
+
+// Syscall performs just the server transaction of a system call (run
+// from the calling process' CPU; the server side runs on the server's).
+func (k *Kernel) Syscall(p *Process) error {
+	k.M.SetCurrentCPU(p.CPU)
+	defer k.M.SetCurrentCPU(p.CPU) // kernel work after the transaction runs here
+	return k.Server.Transaction(p.Space, syscallReqWords, syscallRespWords)
+}
+
+// CreateFile creates a file on behalf of a process.
+func (k *Kernel) CreateFile(p *Process, name string) (*fs.File, error) {
+	if err := k.Syscall(p); err != nil {
+		return nil, err
+	}
+	return k.FS.Create(name)
+}
+
+// OpenFile opens an existing file on behalf of a process.
+func (k *Kernel) OpenFile(p *Process, name string) (*fs.File, error) {
+	if err := k.Syscall(p); err != nil {
+		return nil, err
+	}
+	return k.FS.Open(name)
+}
+
+// RemoveFile unlinks a file on behalf of a process.
+func (k *Kernel) RemoveFile(p *Process, name string) error {
+	if err := k.Syscall(p); err != nil {
+		return err
+	}
+	return k.FS.Remove(name)
+}
+
+// ReadFilePage reads page `page` of file f into the process heap page
+// `heapPage` — the read(2) path: server transaction, buffer-cache
+// lookup (with a disk DMA on a miss), then a word-by-word copy from the
+// buffer's kernel mapping into the user page through the user's own
+// mapping.
+func (k *Kernel) ReadFilePage(p *Process, f *fs.File, page, heapPage uint64) error {
+	if err := k.Syscall(p); err != nil {
+		return err
+	}
+	b, err := k.FS.GetBuffer(f, page, false)
+	if err != nil {
+		return err
+	}
+	words := k.Geometry().WordsPerPage()
+	for i := uint64(0); i < words; i++ {
+		v, err := k.FS.ReadWord(b, i)
+		if err != nil {
+			return err
+		}
+		if err := k.M.Write(p.Space.ID, p.HeapVA(k.Geometry(), heapPage, i), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFilePage writes the process heap page `heapPage` to page `page`
+// of file f — the write(2) path: the data lands in a buffer and reaches
+// the disk later via write-behind.
+func (k *Kernel) WriteFilePage(p *Process, f *fs.File, page, heapPage uint64) error {
+	if err := k.Syscall(p); err != nil {
+		return err
+	}
+	b, err := k.FS.GetBuffer(f, page, true)
+	if err != nil {
+		return err
+	}
+	words := k.Geometry().WordsPerPage()
+	for i := uint64(0); i < words; i++ {
+		v, err := k.M.Read(p.Space.ID, p.HeapVA(k.Geometry(), heapPage, i))
+		if err != nil {
+			return err
+		}
+		if err := k.FS.WriteWord(b, i, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TouchHeap writes `stride`-spaced words of a heap page (faulting it in,
+// zero-filled, on first touch).
+func (k *Kernel) TouchHeap(p *Process, page uint64, words int) error {
+	k.M.SetCurrentCPU(p.CPU)
+	if page >= p.heapPages {
+		return fmt.Errorf("kernel: heap page %d out of range (%d)", page, p.heapPages)
+	}
+	total := k.Geometry().WordsPerPage()
+	if words <= 0 {
+		words = 1
+	}
+	stride := total / uint64(words)
+	if stride == 0 {
+		stride = 1
+	}
+	for i := uint64(0); i < total; i += stride {
+		if err := k.M.Write(p.Space.ID, p.HeapVA(k.Geometry(), page, i), k.nextValue()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadHeap reads `words` evenly spaced words of a heap page.
+func (k *Kernel) ReadHeap(p *Process, page uint64, words int) error {
+	k.M.SetCurrentCPU(p.CPU)
+	total := k.Geometry().WordsPerPage()
+	if words <= 0 {
+		words = 1
+	}
+	stride := total / uint64(words)
+	if stride == 0 {
+		stride = 1
+	}
+	for i := uint64(0); i < total; i += stride {
+		if _, err := k.M.Read(p.Space.ID, p.HeapVA(k.Geometry(), page, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunText simulates execution: it fetches `words` evenly spaced
+// instructions from each text page, faulting the pages in (data-to-
+// instruction-space copies) on first touch.
+func (k *Kernel) RunText(p *Process, words int) error {
+	k.M.SetCurrentCPU(p.CPU)
+	if p.Text == nil {
+		return fmt.Errorf("kernel: process %d has no text", p.ID)
+	}
+	geom := k.Geometry()
+	total := geom.WordsPerPage()
+	if words <= 0 {
+		words = 1
+	}
+	stride := total / uint64(words)
+	if stride == 0 {
+		stride = 1
+	}
+	for pg := p.Text.Start; pg < p.Text.End(); pg++ {
+		base := geom.PageBase(pg)
+		for i := uint64(0); i < total; i += stride {
+			if _, err := k.M.Fetch(p.Space.ID, base+arch.VA(i*arch.WordSize)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SendHeapPage transfers a heap page from one process to another as IPC
+// out-of-line memory; the receiver address is kernel-chosen (aligned
+// with the sender's under the align-pages policy). It returns the
+// receiver-side VPN.
+func (k *Kernel) SendHeapPage(from *Process, page uint64, to *Process) (arch.VPN, error) {
+	if err := k.Syscall(from); err != nil {
+		return 0, err
+	}
+	return k.VM.TransferPage(from.Space, heapBaseVPN+arch.VPN(page), to.Space)
+}
+
+// ReadPage reads `words` evenly spaced words from an arbitrary page of a
+// process (used after IPC transfers, where the receiver address was
+// kernel-chosen).
+func (k *Kernel) ReadPage(p *Process, vpn arch.VPN, words int) error {
+	k.M.SetCurrentCPU(p.CPU)
+	geom := k.Geometry()
+	total := geom.WordsPerPage()
+	if words <= 0 {
+		words = 1
+	}
+	stride := total / uint64(words)
+	if stride == 0 {
+		stride = 1
+	}
+	base := geom.PageBase(vpn)
+	for i := uint64(0); i < total; i += stride {
+		if _, err := k.M.Read(p.Space.ID, base+arch.VA(i*arch.WordSize)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePage writes `words` evenly spaced words to an arbitrary mapped
+// page of a process.
+func (k *Kernel) WritePage(p *Process, vpn arch.VPN, words int) error {
+	k.M.SetCurrentCPU(p.CPU)
+	geom := k.Geometry()
+	total := geom.WordsPerPage()
+	if words <= 0 {
+		words = 1
+	}
+	stride := total / uint64(words)
+	if stride == 0 {
+		stride = 1
+	}
+	base := geom.PageBase(vpn)
+	for i := uint64(0); i < total; i += stride {
+		if err := k.M.Write(p.Space.ID, base+arch.VA(i*arch.WordSize), k.nextValue()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFileContent fills `pages` pages of a file with fresh content
+// directly in the buffer cache (used to build workload input files, e.g.
+// source trees, before timing begins).
+func (k *Kernel) WriteFileContent(f *fs.File, pages uint64) error {
+	words := k.Geometry().WordsPerPage()
+	for pg := uint64(0); pg < pages; pg++ {
+		b, err := k.FS.GetBuffer(f, pg, true)
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < words; i += 8 {
+			if err := k.FS.WriteWord(b, i, k.nextValue()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadFilePageDirect reads page `page` of file f by DMA directly into
+// the frame backing the process heap page — the demand-paging style read
+// Mach's pagers used, with no intermediate buffer copy. The heap page is
+// faulted resident first; if it holds dirty cached data the DMA
+// preparation purges it (a DMA-write purge), and the process' next
+// access to the page takes a consistency fault to purge the now-stale
+// cached copy.
+func (k *Kernel) ReadFilePageDirect(p *Process, f *fs.File, page, heapPage uint64) error {
+	if err := k.Syscall(p); err != nil {
+		return err
+	}
+	vpn := k.Geometry().PageOf(p.HeapVA(k.Geometry(), heapPage, 0))
+	if _, ok := k.PM.Translate(p.Space.ID, vpn); !ok {
+		// Fault the page resident.
+		if _, err := k.M.Read(p.Space.ID, p.HeapVA(k.Geometry(), heapPage, 0)); err != nil {
+			return err
+		}
+	}
+	frame, ok := k.PM.Translate(p.Space.ID, vpn)
+	if !ok {
+		return fmt.Errorf("kernel: heap page %d not resident after fault", heapPage)
+	}
+	return k.FS.ReadBlockInto(f, page, frame)
+}
+
+// MapFile maps `pages` pages of file f read-only into the process at a
+// kernel-chosen address (the mmap(2)-style path: data is paged in from
+// the file system on first touch, through the cache, with aligned
+// preparation under the optimized policies). Mapping the same file into
+// several processes shares the paged-in frames — and, when the chosen
+// addresses do not align, exercises the read-only alias machinery.
+// It returns the first mapped virtual page.
+func (k *Kernel) MapFile(p *Process, f *fs.File, obj *vm.Object, pages uint64) (arch.VPN, *vm.Object, error) {
+	if err := k.Syscall(p); err != nil {
+		return 0, nil, err
+	}
+	if pages == 0 || pages > f.Pages() {
+		pages = f.Pages()
+	}
+	if obj == nil {
+		obj = k.VM.NewTextObject(&textPager{k: k, file: f})
+	}
+	reg, err := k.VM.MapObject(p.Space, obj, 0, pages, vm.NoVPN, arch.NoCachePage, arch.ProtRead, false, vm.KindFile)
+	if err != nil {
+		return 0, nil, err
+	}
+	return reg.Start, obj, nil
+}

@@ -1,0 +1,461 @@
+// Package machine assembles the simulated hardware: CPU access paths
+// through the split instruction/data caches, the TLB, physical memory,
+// and the DMA port. It delivers the faults the operating system's
+// consistency algorithm lives on: mapping faults, protection faults, and
+// modify (first-write) faults.
+//
+// The machine models the HP 9000 Series 700 of the paper:
+//
+//   - separate instruction and data caches, both direct mapped,
+//     virtually indexed, physically tagged; the data cache is write-back;
+//   - no hardware support for consistency when a physical address is
+//     represented in more than one cache line;
+//   - DMA devices read and write physical memory without snooping the
+//     caches;
+//   - a TLB translating virtual page frames in parallel with cache
+//     lookup.
+package machine
+
+import (
+	"fmt"
+
+	"vcache/internal/arch"
+	"vcache/internal/cache"
+	"vcache/internal/mem"
+	"vcache/internal/oracle"
+	"vcache/internal/sim"
+	"vcache/internal/tlb"
+)
+
+// Access is the kind of CPU reference that faulted or is being made.
+type Access uint8
+
+const (
+	// AccessRead is a data load.
+	AccessRead Access = iota
+	// AccessWrite is a data store.
+	AccessWrite
+	// AccessExecute is an instruction fetch.
+	AccessExecute
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	default:
+		return "execute"
+	}
+}
+
+// FaultKind classifies a trap.
+type FaultKind uint8
+
+const (
+	// FaultMapping: no translation exists for the page.
+	FaultMapping FaultKind = iota
+	// FaultProtection: the translation exists but denies the access.
+	FaultProtection
+	// FaultModify: first write through a translation whose page-table
+	// entry has not recorded a modification (the PA-RISC TLB dirty-bit
+	// trap). The paper's implementation uses it to set cache_dirty
+	// without a full protection fault on every store.
+	FaultModify
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultMapping:
+		return "mapping"
+	case FaultProtection:
+		return "protection"
+	default:
+		return "modify"
+	}
+}
+
+// Fault describes one trap delivered to the kernel.
+type Fault struct {
+	Space  arch.SpaceID
+	VA     arch.VA
+	Access Access
+	Kind   FaultKind
+}
+
+func (f Fault) Error() string {
+	return fmt.Sprintf("%s fault: space %d va %#x (%s)", f.Kind, f.Space, uint64(f.VA), f.Access)
+}
+
+// FaultHandler is the kernel's trap entry point. Returning an error
+// aborts the faulting access (the simulated program dies); returning nil
+// means the access should be retried.
+type FaultHandler interface {
+	HandleFault(f Fault) error
+}
+
+// Stats counts machine-level events.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	Fetches      uint64
+	Faults       uint64
+	DMAWrites    uint64 // device-to-memory transfers
+	DMAReads     uint64 // memory-to-device transfers
+	DMAWords     uint64
+	FaultsByKind [3]uint64
+}
+
+// CPU is one processor context: its private caches and TLB. On the
+// paper's uniprocessor there is exactly one; the Section 3.3
+// multiprocessor extension instantiates several, with the hardware
+// keeping *aligned* copies coherent (the "distributed set-associative
+// cache" view) while unaligned aliases remain software's problem.
+type CPU struct {
+	DCache *cache.Cache
+	ICache *cache.Cache
+	TLB    *tlb.TLB
+}
+
+// Machine is the simulated hardware. It is not safe for concurrent use;
+// multiprocessor execution is modeled as the interleaving the (single
+// threaded) kernel produces by switching the current CPU.
+type Machine struct {
+	Geom   arch.Geometry
+	Mem    *mem.Memory
+	Clock  *sim.Clock
+	Oracle *oracle.Oracle // may be nil (checking disabled)
+
+	// DCache, ICache and TLB are CPU 0's, kept as fields for the
+	// common uniprocessor case and for test inspection.
+	DCache *cache.Cache
+	ICache *cache.Cache
+	TLB    *tlb.TLB
+
+	cpus    []CPU
+	current int
+
+	walker  tlb.Walker
+	handler FaultHandler
+	stats   Stats
+
+	// maxRetries bounds the fault-retry loop so kernel bugs surface as
+	// errors instead of livelock.
+	maxRetries int
+}
+
+// Config sizes a machine.
+type Config struct {
+	Geometry   arch.Geometry
+	Frames     int // physical memory size in frames
+	TLBSize    int // entries
+	DCacheWays int // 1 = direct mapped (the paper's machine)
+	ICacheWays int
+	// CPUs is the processor count; 1 (the default) is the paper's
+	// machine. With more, each CPU gets private caches and a TLB, and
+	// the simulated hardware keeps aligned copies coherent.
+	CPUs           int
+	DCachePolicy   cache.WritePolicy
+	DCacheIndexing cache.Indexing
+	// ICachePerLinePurge disables the 720's constant-time
+	// instruction-cache page purge, making I-purges pay per line like
+	// the data cache (an ablation of the paper's Section 5 artifact).
+	ICachePerLinePurge bool
+	WithOracle         bool
+	Timing             sim.Timing
+}
+
+// DefaultConfig returns an HP 720-shaped machine with the oracle enabled.
+func DefaultConfig() Config {
+	return Config{
+		Geometry:       arch.HP720(),
+		Frames:         4096, // 16 MiB
+		TLBSize:        96,
+		DCacheWays:     1,
+		ICacheWays:     1,
+		DCachePolicy:   cache.WriteBack,
+		DCacheIndexing: cache.VirtualIndex,
+		WithOracle:     true,
+		Timing:         sim.HP720Timing(),
+	}
+}
+
+// New builds a machine.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	clock := sim.NewClock(cfg.Timing)
+	pm, err := mem.New(cfg.Geometry, cfg.Frames)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DCacheWays == 0 {
+		cfg.DCacheWays = 1
+	}
+	if cfg.ICacheWays == 0 {
+		cfg.ICacheWays = 1
+	}
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 1
+	}
+	m := &Machine{
+		Geom:       cfg.Geometry,
+		Mem:        pm,
+		Clock:      clock,
+		maxRetries: 16,
+	}
+	for i := 0; i < cfg.CPUs; i++ {
+		dc, err := cache.New(cache.Config{
+			Name:     fmt.Sprintf("dcache%d", i),
+			Size:     cfg.Geometry.DCacheSize,
+			Indexing: cfg.DCacheIndexing,
+			Policy:   cfg.DCachePolicy,
+			Ways:     cfg.DCacheWays,
+		}, pm, clock)
+		if err != nil {
+			return nil, err
+		}
+		ic, err := cache.New(cache.Config{
+			Name:              fmt.Sprintf("icache%d", i),
+			Size:              cfg.Geometry.ICacheSize,
+			Indexing:          cache.VirtualIndex,
+			Policy:            cache.WriteBack, // never written; policy moot
+			Ways:              cfg.ICacheWays,
+			ReadOnly:          true,
+			ConstantPagePurge: !cfg.ICachePerLinePurge,
+		}, pm, clock)
+		if err != nil {
+			return nil, err
+		}
+		m.cpus = append(m.cpus, CPU{DCache: dc, ICache: ic, TLB: tlb.New(cfg.TLBSize, clock)})
+	}
+	m.DCache = m.cpus[0].DCache
+	m.ICache = m.cpus[0].ICache
+	m.TLB = m.cpus[0].TLB
+	if cfg.WithOracle {
+		m.Oracle = oracle.New(int(uint64(cfg.Frames) * cfg.Geometry.WordsPerPage()))
+	}
+	return m, nil
+}
+
+// SetWalker installs the page-table walker (the pmap layer).
+func (m *Machine) SetWalker(w tlb.Walker) { m.walker = w }
+
+// SetFaultHandler installs the kernel trap handler.
+func (m *Machine) SetFaultHandler(h FaultHandler) { m.handler = h }
+
+// Stats returns a snapshot of the machine counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// NumCPUs returns the processor count.
+func (m *Machine) NumCPUs() int { return len(m.cpus) }
+
+// SetCurrentCPU selects which processor subsequent accesses run on (the
+// kernel's context switch). Out-of-range values are clamped.
+func (m *Machine) SetCurrentCPU(i int) {
+	if i < 0 || i >= len(m.cpus) {
+		i = 0
+	}
+	m.current = i
+}
+
+// CurrentCPU returns the executing processor index.
+func (m *Machine) CurrentCPU() int { return m.current }
+
+// cpu returns the current CPU context.
+func (m *Machine) cpu() *CPU { return &m.cpus[m.current] }
+
+// snoopRead lets peer caches service a read: a peer holding the aligned
+// line dirty writes it back so the reader's fill sees current data.
+func (m *Machine) snoopRead(va arch.VA, pa arch.PA) {
+	if len(m.cpus) == 1 {
+		return
+	}
+	cur := m.cpu().DCache
+	si := cur.AccessIndex(va, pa)
+	tag := cur.Tag(pa)
+	for i := range m.cpus {
+		if i != m.current {
+			m.cpus[i].DCache.SnoopRead(si, tag)
+		}
+	}
+}
+
+// snoopInvalidate gives the writing CPU exclusive ownership of the
+// aligned line: every peer copy is written back (if dirty) and dropped.
+func (m *Machine) snoopInvalidate(va arch.VA, pa arch.PA) {
+	if len(m.cpus) == 1 {
+		return
+	}
+	cur := m.cpu().DCache
+	si := cur.AccessIndex(va, pa)
+	tag := cur.Tag(pa)
+	for i := range m.cpus {
+		if i != m.current {
+			m.cpus[i].DCache.SnoopInvalidate(si, tag)
+		}
+	}
+}
+
+// Broadcast cache-control and TLB operations: the kernel's flush, purge
+// and shootdown primitives act on every CPU (modeling the IPI-based
+// shootdowns a multiprocessor kernel performs; on one CPU they reduce to
+// the plain operations).
+
+// FlushDPage flushes frame f's lines from data-cache page cp on every CPU.
+func (m *Machine) FlushDPage(cp arch.CachePage, f arch.PFN) {
+	for i := range m.cpus {
+		m.cpus[i].DCache.FlushPage(cp, f)
+	}
+}
+
+// PurgeDPage purges frame f's lines from data-cache page cp on every CPU.
+func (m *Machine) PurgeDPage(cp arch.CachePage, f arch.PFN) {
+	for i := range m.cpus {
+		m.cpus[i].DCache.PurgePage(cp, f)
+	}
+}
+
+// PurgeIPage purges frame f's lines from instruction-cache page cp on
+// every CPU.
+func (m *Machine) PurgeIPage(cp arch.CachePage, f arch.PFN) {
+	for i := range m.cpus {
+		m.cpus[i].ICache.PurgePage(cp, f)
+	}
+}
+
+// InvalidateTLB drops (space, vpn) from every CPU's TLB.
+func (m *Machine) InvalidateTLB(space arch.SpaceID, vpn arch.VPN) {
+	for i := range m.cpus {
+		m.cpus[i].TLB.InvalidatePage(space, vpn)
+	}
+}
+
+// translate resolves (space, va) for the given access, faulting to the
+// kernel until the access is permitted. It returns the physical address
+// and whether the translation is marked uncacheable.
+func (m *Machine) translate(space arch.SpaceID, va arch.VA, acc Access) (arch.PA, bool, error) {
+	if m.walker == nil {
+		return 0, false, fmt.Errorf("machine: no page-table walker installed")
+	}
+	vpn := m.Geom.PageOf(va)
+	for try := 0; try <= m.maxRetries; try++ {
+		e, ok := m.cpu().TLB.Lookup(space, vpn, m.walker)
+		var kind FaultKind
+		switch {
+		case !ok:
+			kind = FaultMapping
+		case acc == AccessWrite && !e.Prot.CanWrite():
+			kind = FaultProtection
+		case acc != AccessWrite && !e.Prot.CanRead():
+			kind = FaultProtection
+		case acc == AccessWrite && e.NeedModTrap:
+			kind = FaultModify
+		default:
+			return m.Geom.Translate(va, e.PFN), e.Uncached, nil
+		}
+		f := Fault{Space: space, VA: va, Access: acc, Kind: kind}
+		m.stats.Faults++
+		m.stats.FaultsByKind[kind]++
+		m.Clock.Charge(sim.CatFault, m.Clock.Timing().FaultTrap)
+		if m.handler == nil {
+			return 0, false, f
+		}
+		if err := m.handler.HandleFault(f); err != nil {
+			return 0, false, fmt.Errorf("unresolved %s: %w", f.Error(), err)
+		}
+	}
+	return 0, false, fmt.Errorf("machine: fault livelock at space %d va %#x (%s)", space, uint64(va), acc)
+}
+
+// Read performs a data load, faulting to the kernel as needed, and
+// verifies the delivered value against the oracle.
+func (m *Machine) Read(space arch.SpaceID, va arch.VA) (uint64, error) {
+	m.stats.Reads++
+	pa, uncached, err := m.translate(space, va, AccessRead)
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	if uncached {
+		m.Clock.Charge(sim.CatAccess, m.Clock.Timing().CacheHit+m.Clock.Timing().CacheMissFill)
+		v = m.Mem.ReadWord(pa)
+	} else {
+		m.snoopRead(va, pa)
+		v, _ = m.cpu().DCache.Read(va, pa)
+	}
+	m.Oracle.Observe(oracle.CPURead, pa, v)
+	return v, nil
+}
+
+// Write performs a data store, faulting to the kernel as needed.
+func (m *Machine) Write(space arch.SpaceID, va arch.VA, v uint64) error {
+	m.stats.Writes++
+	pa, uncached, err := m.translate(space, va, AccessWrite)
+	if err != nil {
+		return err
+	}
+	m.Oracle.RecordWrite(pa, v)
+	if uncached {
+		m.Clock.Charge(sim.CatAccess, m.Clock.Timing().CacheHit+m.Clock.Timing().WriteBack)
+		m.Mem.WriteWord(pa, v)
+	} else {
+		m.snoopInvalidate(va, pa)
+		m.cpu().DCache.Write(va, pa, v)
+	}
+	return nil
+}
+
+// Fetch performs an instruction fetch through the instruction cache.
+func (m *Machine) Fetch(space arch.SpaceID, va arch.VA) (uint64, error) {
+	m.stats.Fetches++
+	pa, uncached, err := m.translate(space, va, AccessExecute)
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	if uncached {
+		m.Clock.Charge(sim.CatAccess, m.Clock.Timing().CacheHit+m.Clock.Timing().CacheMissFill)
+		v = m.Mem.ReadWord(pa)
+	} else {
+		v, _ = m.cpu().ICache.Read(va, pa)
+	}
+	m.Oracle.Observe(oracle.CPUFetch, pa, v)
+	return v, nil
+}
+
+// DMAWrite transfers data from a device into physical memory, bypassing
+// the caches entirely (the Series 700's I/O does not snoop).
+// The kernel must have run the consistency algorithm beforehand.
+func (m *Machine) DMAWrite(pa arch.PA, data []uint64) {
+	m.stats.DMAWrites++
+	m.stats.DMAWords += uint64(len(data))
+	t := m.Clock.Timing()
+	m.Clock.Charge(sim.CatDMA, t.DMASetup+t.DMAPerWord*uint64(len(data)))
+	for i, v := range data {
+		addr := pa + arch.PA(i*arch.WordSize)
+		m.Oracle.RecordWrite(addr, v)
+		m.Mem.WriteWord(addr, v)
+	}
+}
+
+// DMARead transfers n words from physical memory to a device, bypassing
+// the caches; the oracle verifies the device receives current data.
+func (m *Machine) DMARead(pa arch.PA, n int) []uint64 {
+	m.stats.DMAReads++
+	m.stats.DMAWords += uint64(n)
+	t := m.Clock.Timing()
+	m.Clock.Charge(sim.CatDMA, t.DMASetup+t.DMAPerWord*uint64(n))
+	out := make([]uint64, n)
+	for i := range out {
+		addr := pa + arch.PA(i*arch.WordSize)
+		out[i] = m.Mem.ReadWord(addr)
+		m.Oracle.Observe(oracle.DeviceRead, addr, out[i])
+	}
+	return out
+}
+
+// ResetStats zeroes the machine counters.
+func (m *Machine) ResetStats() { m.stats = Stats{} }

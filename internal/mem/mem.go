@@ -1,0 +1,75 @@
+// Package mem implements the simulated physical memory and the physical
+// frame allocator.
+//
+// Memory is word-granular (arch.WordSize bytes per word) and is the only
+// backing store in the machine: the caches fill from it and write back to
+// it, and DMA devices read and write it directly. Nothing in this package
+// maintains consistency — producing a memory system that can hold stale
+// data is precisely the point of the simulation.
+//
+// The allocator supports two modes mirroring the paper's Section 5.1
+// discussion: a single free list (frames come back in effectively random
+// cache colors, which is what makes new-mapping purges so frequent), and
+// per-color free lists ("multiple free page lists" reducing the
+// associativity of virtual-to-physical mappings).
+package mem
+
+import (
+	"fmt"
+
+	"vcache/internal/arch"
+)
+
+// Memory is the simulated physical memory.
+type Memory struct {
+	geom  arch.Geometry
+	words []uint64
+}
+
+// New creates a physical memory of the given number of frames.
+func New(geom arch.Geometry, frames int) (*Memory, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if frames <= 0 {
+		return nil, fmt.Errorf("mem: frame count must be positive, got %d", frames)
+	}
+	return &Memory{
+		geom:  geom,
+		words: make([]uint64, uint64(frames)*geom.WordsPerPage()),
+	}, nil
+}
+
+// Frames returns the number of physical frames.
+func (m *Memory) Frames() int {
+	return int(uint64(len(m.words)) / m.geom.WordsPerPage())
+}
+
+// Geometry returns the machine geometry.
+func (m *Memory) Geometry() arch.Geometry { return m.geom }
+
+func (m *Memory) wordIndex(pa arch.PA) uint64 {
+	idx := uint64(pa) / arch.WordSize
+	if idx >= uint64(len(m.words)) {
+		panic(fmt.Sprintf("mem: physical address %#x out of range", uint64(pa)))
+	}
+	return idx
+}
+
+// ReadWord returns the word at physical address pa (word-aligned).
+func (m *Memory) ReadWord(pa arch.PA) uint64 { return m.words[m.wordIndex(pa)] }
+
+// WriteWord stores v at physical address pa (word-aligned).
+func (m *Memory) WriteWord(pa arch.PA, v uint64) { m.words[m.wordIndex(pa)] = v }
+
+// ReadLine copies the cache line starting at pa into dst.
+func (m *Memory) ReadLine(pa arch.PA, dst []uint64) {
+	base := m.wordIndex(pa)
+	copy(dst, m.words[base:base+uint64(len(dst))])
+}
+
+// WriteLine stores the cache line src starting at physical address pa.
+func (m *Memory) WriteLine(pa arch.PA, src []uint64) {
+	base := m.wordIndex(pa)
+	copy(m.words[base:base+uint64(len(src))], src)
+}

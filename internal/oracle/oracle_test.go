@@ -1,0 +1,89 @@
+package oracle
+
+import (
+	"testing"
+
+	"vcache/internal/arch"
+)
+
+func TestObserveFreshAndStale(t *testing.T) {
+	o := New(64)
+	o.RecordWrite(8, 42)
+	o.Observe(CPURead, 8, 42)
+	if len(o.Violations()) != 0 {
+		t.Fatal("fresh read flagged")
+	}
+	o.Observe(CPURead, 8, 41)
+	v := o.Violations()
+	if len(v) != 1 {
+		t.Fatalf("stale read produced %d violations", len(v))
+	}
+	if v[0].Got != 41 || v[0].Want != 42 || v[0].Consumer != CPURead {
+		t.Errorf("violation = %+v", v[0])
+	}
+	if o.Checks() != 2 {
+		t.Errorf("Checks = %d", o.Checks())
+	}
+}
+
+func TestConsumersTracked(t *testing.T) {
+	o := New(64)
+	o.RecordWrite(0, 1)
+	o.Observe(CPUFetch, 0, 0)
+	o.Observe(DeviceRead, 0, 0)
+	v := o.Violations()
+	if len(v) != 2 || v[0].Consumer != CPUFetch || v[1].Consumer != DeviceRead {
+		t.Fatalf("violations = %v", v)
+	}
+	// Strings are informative.
+	if v[0].String() == "" || CPUFetch.String() != "cpu-fetch" {
+		t.Error("bad formatting")
+	}
+}
+
+func TestLatestWriteWins(t *testing.T) {
+	o := New(64)
+	o.RecordWrite(16, 1)
+	o.RecordWrite(16, 2) // e.g. a DMA overwrote a CPU write
+	o.Observe(CPURead, 16, 1)
+	if len(o.Violations()) != 1 {
+		t.Error("old value accepted after newer write")
+	}
+	o.Observe(CPURead, 16, 2)
+	if len(o.Violations()) != 1 {
+		t.Error("current value rejected")
+	}
+	if o.Expected(16) != 2 {
+		t.Errorf("Expected = %d", o.Expected(16))
+	}
+}
+
+func TestFailFast(t *testing.T) {
+	o := New(8)
+	var got *Violation
+	o.FailFast = func(v Violation) { got = &v }
+	o.RecordWrite(0, 5)
+	o.Observe(CPURead, 0, 6)
+	if got == nil || got.Want != 5 {
+		t.Error("FailFast not invoked")
+	}
+}
+
+func TestNilOracleIsSafe(t *testing.T) {
+	var o *Oracle
+	o.RecordWrite(0, 1)
+	o.Observe(CPURead, 0, 2)
+	if o.Violations() != nil || o.Checks() != 0 || o.Expected(0) != 0 {
+		t.Error("nil oracle misbehaved")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	o := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	o.RecordWrite(arch.PA(64), 1)
+}

@@ -1,0 +1,133 @@
+package pmap
+
+import (
+	"testing"
+
+	"vcache/internal/arch"
+	"vcache/internal/core"
+	"vcache/internal/policy"
+)
+
+func TestDowngradeClampsProtection(t *testing.T) {
+	r := newRig(t, lazyFeatures())
+	f, _ := r.p.AllocFrame(arch.NoCachePage)
+	r.p.Enter(1, 0x10, f, arch.ProtReadWrite, KindUser)
+	r.write(t, 1, 0x10, 0, 1) // prot is now read-write
+
+	r.p.Downgrade(1, 0x10, arch.ProtRead)
+	if prot, _ := r.p.Protection(1, 0x10); prot != arch.ProtRead {
+		t.Fatalf("prot after downgrade = %v", prot)
+	}
+	// Reads still work; a write must now fault and be *denied* by the
+	// ceiling (pmap.Access errors on maxProt violations).
+	if got := r.read(t, 1, 0x10, 0); got != 1 {
+		t.Fatalf("read = %d", got)
+	}
+	va := r.m.Geom.PageBase(0x10)
+	if err := r.m.Write(1, va, 2); err == nil {
+		t.Error("write through downgraded mapping succeeded")
+	}
+	// Downgrading a missing mapping is a no-op.
+	r.p.Downgrade(9, 0x99, arch.ProtRead)
+}
+
+func TestDowngradeLeavesLowerProtAlone(t *testing.T) {
+	r := newRig(t, lazyFeatures())
+	f, _ := r.p.AllocFrame(arch.NoCachePage)
+	r.p.Enter(1, 0x10, f, arch.ProtReadWrite, KindUser)
+	// Still ProtNone (never accessed): downgrade must not *raise* it.
+	r.p.Downgrade(1, 0x10, arch.ProtRead)
+	if prot, _ := r.p.Protection(1, 0x10); prot != arch.ProtNone {
+		t.Fatalf("prot = %v, want none", prot)
+	}
+}
+
+func TestUnmapFrameBreaksEveryMapping(t *testing.T) {
+	r := newRig(t, lazyFeatures())
+	f, _ := r.p.AllocFrame(arch.NoCachePage)
+	r.p.Enter(1, 0x10, f, arch.ProtReadWrite, KindUser)
+	r.p.Enter(2, 0x11, f, arch.ProtReadWrite, KindUser)
+	r.p.Enter(3, 0x50, f, arch.ProtReadWrite, KindUser)
+	r.write(t, 1, 0x10, 0, 7)
+
+	r.p.UnmapFrame(f)
+	for _, m := range []struct {
+		space arch.SpaceID
+		vpn   arch.VPN
+	}{{1, 0x10}, {2, 0x11}, {3, 0x50}} {
+		if _, ok := r.p.Translate(m.space, m.vpn); ok {
+			t.Errorf("mapping space %d vpn %#x survived UnmapFrame", m.space, uint64(m.vpn))
+		}
+	}
+	// The frame can now be freed without panicking.
+	r.p.FreeFrame(f)
+}
+
+func TestSetProtectionClampsToMax(t *testing.T) {
+	r := newRig(t, lazyFeatures())
+	f, _ := r.p.AllocFrame(arch.NoCachePage)
+	r.p.Enter(1, 0x10, f, arch.ProtRead, KindUser) // read-only ceiling
+	m := r.mapping(1, 0x10)
+	r.p.SetProtection(m, arch.ProtReadWrite)
+	if prot, _ := r.p.Protection(1, 0x10); prot != arch.ProtRead {
+		t.Fatalf("protection %v exceeded the VM ceiling", prot)
+	}
+	// ProtNone always applies.
+	r.p.SetProtection(m, arch.ProtNone)
+	if prot, _ := r.p.Protection(1, 0x10); prot != arch.ProtNone {
+		t.Fatalf("prot = %v", prot)
+	}
+}
+
+// mapping builds the core.Mapping key for a pte (test helper).
+func (r *rig) mapping(space arch.SpaceID, vpn arch.VPN) core.Mapping {
+	return core.Mapping{Space: space, VPN: vpn, CachePage: r.p.dcolor(vpn)}
+}
+
+func TestEagerRemoveSharedColorKeepsState(t *testing.T) {
+	// Two aligned mappings; removing one must not clear the state bits
+	// the surviving mapping depends on.
+	r := newRig(t, eagerFeatures())
+	f, _ := r.p.AllocFrame(arch.NoCachePage)
+	r.p.Enter(1, 0x10, f, arch.ProtReadWrite, KindUser)
+	r.p.Enter(2, 0x10+64, f, arch.ProtReadWrite, KindUser) // same color
+	r.write(t, 1, 0x10, 0, 5)
+	r.p.Remove(1, 0x10)
+	// The dirty page was flushed (eager), but the surviving aligned
+	// mapping must still read the data correctly.
+	if got := r.read(t, 2, 0x10+64, 0); got != 5 {
+		t.Fatalf("aligned survivor read %d", got)
+	}
+	r.checkOracle(t)
+}
+
+func TestStatsAccessors(t *testing.T) {
+	r := newRig(t, lazyFeatures())
+	f, _ := r.p.AllocFrame(arch.NoCachePage)
+	r.p.Enter(1, 0x10, f, arch.ProtReadWrite, KindUser)
+	r.write(t, 1, 0x10, 0, 1)
+	if r.p.ControllerStats().Invocations == 0 {
+		t.Error("controller stats empty")
+	}
+	st := r.p.PageState(f)
+	if !st.CacheDirty {
+		t.Error("PageState does not reflect the write")
+	}
+	r.p.ResetStats()
+	if s := r.p.Stats(); s.ConsistencyFaults != 0 || s.DFlushPages != 0 {
+		t.Errorf("ResetStats left %+v", s)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []MappingKind{KindUser, KindWindow, KindBuffer, KindText} {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if MappingKind(99).String() == "" {
+		t.Error("unknown kind should format")
+	}
+}
+
+func eagerFeatures() policy.Features { return policy.ConfigA().Features }

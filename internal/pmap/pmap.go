@@ -1,0 +1,328 @@
+// Package pmap is the machine-dependent layer of the simulated virtual
+// memory system — the module the paper's Figure 1 code lives in.
+//
+// It owns the page tables, the physical page database (one record per
+// frame holding the mapping list and the consistency state of Section 4),
+// and the kernel preparation windows used to copy and zero pages. It is
+// the only layer that issues cache flushes and purges, and it implements
+// the core.Hardware and core.MappingTable interfaces the CacheControl
+// algorithm is written against.
+//
+// Policy features (lazy unmap, page alignment, aligned preparation,
+// need_data, will_overwrite — the paper's configurations A through F) and
+// the Table 5 system variants (Tut, Sun) all live behind this layer's
+// entry points.
+package pmap
+
+import (
+	"fmt"
+
+	"vcache/internal/arch"
+	"vcache/internal/core"
+	"vcache/internal/machine"
+	"vcache/internal/mem"
+	"vcache/internal/policy"
+	"vcache/internal/sim"
+	"vcache/internal/tlb"
+	"vcache/internal/trace"
+)
+
+// NoVPN is the "no eventual mapping known" hint for page preparation.
+const NoVPN = ^arch.VPN(0)
+
+// MappingKind labels why a mapping exists; it only affects accounting
+// and debugging, not consistency.
+type MappingKind uint8
+
+const (
+	// KindUser is an ordinary user-space mapping.
+	KindUser MappingKind = iota
+	// KindWindow is a transient kernel preparation window.
+	KindWindow
+	// KindBuffer is a permanent kernel buffer-cache mapping.
+	KindBuffer
+	// KindText is a user text (instruction) mapping.
+	KindText
+)
+
+func (k MappingKind) String() string {
+	switch k {
+	case KindUser:
+		return "user"
+	case KindWindow:
+		return "window"
+	case KindBuffer:
+		return "buffer"
+	case KindText:
+		return "text"
+	default:
+		return fmt.Sprintf("MappingKind(%d)", uint8(k))
+	}
+}
+
+// pte is a page-table entry.
+type pte struct {
+	pfn        arch.PFN
+	prot       arch.Prot // hardware protection currently in force
+	maxProt    arch.Prot // ceiling imposed by the VM layer
+	modified   bool      // page-modified bit (cleared when cache_dirty is cleared)
+	referenced bool      // set on TLB refill; the page stealer's clock hand clears it
+	uncached   bool      // Sun variant: bypass the cache
+	kind       MappingKind
+}
+
+// physPage is the per-frame record: the paper's P[p].
+type physPage struct {
+	state core.PageState // data-cache consistency state (Table 3)
+
+	// Instruction-cache consistency state. The I-cache never holds
+	// dirty data, so two bit vectors suffice: cache pages that may
+	// hold (consistent) instructions from this frame, and cache pages
+	// that may hold stale ones. Any write into the frame moves every
+	// mapped I-cache page to stale.
+	iMapped core.BitVec
+	iStale  core.BitVec
+
+	mappings []core.Mapping
+	kinds    map[core.Mapping]MappingKind
+
+	// lastVPN is the most recently removed mapping's page — the
+	// "previous virtual address bound to that physical page" that
+	// alignment decisions and the Tut equality test use.
+	lastVPN arch.VPN
+	hasLast bool
+
+	uncached bool // Sun variant: frame is currently non-cacheable
+}
+
+// Stats counts the events the paper's Table 4 reports.
+type Stats struct {
+	MappingFaults     uint64 // first touch of a page by a space
+	ConsistencyFaults uint64 // protection traps taken only for consistency
+	ModifyFaults      uint64 // first-write (TLB dirty bit) traps
+
+	DFlushPages  uint64 // data-cache page flushes
+	DFlushCycles uint64
+	DPurgePages  uint64 // data-cache page purges
+	DPurgeCycles uint64
+	IPurgePages  uint64 // instruction-cache page purges
+	IPurgeCycles uint64
+
+	DMAReadFlushes   uint64 // flushes forced by DMA-read (device reads memory)
+	DMAWritePurges   uint64 // purges forced by DMA-write (device writes memory)
+	NewMappingPurges uint64 // purges taken on the first access after a new mapping
+	DToICopies       uint64 // data-space to instruction-space page copies
+
+	ZeroFills        uint64
+	PageCopies       uint64
+	AlignedAllocHits uint64 // colored free list handed out an aligned frame
+}
+
+// Pmap is the machine-dependent VM layer. It is not safe for concurrent
+// use; the simulated kernel is single-threaded.
+type Pmap struct {
+	geom  arch.Geometry
+	m     *machine.Machine
+	alloc *mem.Allocator
+	feat  policy.Features
+	ctl   *core.Controller
+
+	tables map[arch.SpaceID]map[arch.VPN]*pte
+	phys   []physPage
+
+	windows    *windowPool
+	prepCursor uint64 // first-fit color rotation for unaligned preparation
+
+	// dColors and iColors are the actual cache-page (color) counts of
+	// the machine's caches. For the direct-mapped HP 720 they equal the
+	// geometry's counts; a set-associative cache has fewer colors
+	// (associativity is invisible to software except through this).
+	dColors uint64
+	iColors uint64
+
+	stats  Stats
+	tracer *trace.Recorder // nil: tracing off
+
+	// accessIsNew marks the current Access as resolving a brand-new
+	// mapping, for purge-cause attribution (Section 5.1: ~80% of
+	// purges stem from new mappings).
+	accessIsNew bool
+}
+
+// New creates the pmap over machine m with frame allocator alloc and the
+// given policy features, and installs itself as the machine's page-table
+// walker.
+func New(m *machine.Machine, alloc *mem.Allocator, feat policy.Features) *Pmap {
+	p := &Pmap{
+		geom:   m.Geom,
+		m:      m,
+		alloc:  alloc,
+		feat:   feat,
+		tables: make(map[arch.SpaceID]map[arch.VPN]*pte),
+		phys:   make([]physPage, m.Mem.Frames()),
+	}
+	p.dColors = m.DCache.CachePages()
+	p.iColors = m.ICache.CachePages()
+	p.ctl = core.NewController(p, p)
+	p.windows = newWindowPool(p.geom)
+	m.SetWalker(p)
+	return p
+}
+
+// Features returns the active policy features.
+func (p *Pmap) Features() policy.Features { return p.feat }
+
+// SetTracer attaches an event recorder (nil turns tracing off).
+func (p *Pmap) SetTracer(r *trace.Recorder) { p.tracer = r }
+
+// Tracer returns the attached recorder, if any.
+func (p *Pmap) Tracer() *trace.Recorder { return p.tracer }
+
+// emit records a trace event, stamping the current cycle count.
+func (p *Pmap) emit(kind trace.Kind, f arch.PFN, c arch.CachePage, note string) {
+	if p.tracer == nil {
+		return
+	}
+	p.tracer.Record(trace.Event{Cycles: p.m.Clock.Cycles(), Kind: kind, Frame: f, Color: c, Note: note})
+}
+
+// Stats returns a snapshot of the counters, merging in the CacheControl
+// algorithm's cause attribution for DMA-forced operations.
+func (p *Pmap) Stats() Stats {
+	s := p.stats
+	cs := p.ctl.Stats()
+	s.DMAReadFlushes = cs.DMAReadFlushes
+	s.DMAWritePurges = cs.DMAWritePurges
+	return s
+}
+
+// ControllerStats returns the CacheControl algorithm's own counters.
+func (p *Pmap) ControllerStats() core.Stats { return p.ctl.Stats() }
+
+// PageState returns a copy of frame f's consistency state (for tests and
+// invariant checks).
+func (p *Pmap) PageState(f arch.PFN) core.PageState { return p.phys[f].state }
+
+// CheckInvariants verifies the Table 3 encoding invariants on every
+// frame. Tests call it between workload steps.
+func (p *Pmap) CheckInvariants() error {
+	for f := range p.phys {
+		if err := p.phys[f].state.CheckInvariants(); err != nil {
+			return fmt.Errorf("frame %d: %w", f, err)
+		}
+	}
+	return nil
+}
+
+// Walk implements tlb.Walker: the hardware page-table walk.
+func (p *Pmap) Walk(space arch.SpaceID, vpn arch.VPN) (tlb.Entry, bool) {
+	t := p.tables[space]
+	if t == nil {
+		return tlb.Entry{}, false
+	}
+	e := t[vpn]
+	if e == nil {
+		return tlb.Entry{}, false
+	}
+	// The hardware TLB refill records a reference, as PA-RISC's
+	// software-managed TLB does; the page stealer reads and clears it.
+	e.referenced = true
+	return tlb.Entry{
+		PFN:         e.pfn,
+		Prot:        e.prot,
+		NeedModTrap: e.prot == arch.ProtReadWrite && !e.modified,
+		Uncached:    e.uncached,
+	}, true
+}
+
+// dcolor returns the data-cache color of a virtual page.
+func (p *Pmap) dcolor(vpn arch.VPN) arch.CachePage { return arch.CachePage(uint64(vpn) % p.dColors) }
+
+// icolor returns the instruction-cache color of a virtual page.
+func (p *Pmap) icolor(vpn arch.VPN) arch.CachePage {
+	return arch.CachePage(uint64(vpn) % p.iColors)
+}
+
+// FlushCachePage implements core.Hardware: flush frame f's lines from
+// data-cache page c, metering cycles.
+func (p *Pmap) FlushCachePage(c arch.CachePage, f arch.PFN) {
+	before := p.m.Clock.Cycles()
+	p.m.FlushDPage(c, f)
+	p.stats.DFlushPages++
+	p.stats.DFlushCycles += p.m.Clock.Cycles() - before
+	p.emit(trace.EvFlush, f, c, "")
+}
+
+// PurgeCachePage implements core.Hardware: purge frame f's lines from
+// data-cache page c, metering cycles.
+func (p *Pmap) PurgeCachePage(c arch.CachePage, f arch.PFN) {
+	before := p.m.Clock.Cycles()
+	p.m.PurgeDPage(c, f)
+	p.stats.DPurgePages++
+	p.stats.DPurgeCycles += p.m.Clock.Cycles() - before
+	if p.accessIsNew {
+		p.stats.NewMappingPurges++
+		p.emit(trace.EvPurge, f, c, "new-mapping")
+	} else {
+		p.emit(trace.EvPurge, f, c, "")
+	}
+}
+
+// purgeICachePage purges frame f's lines from instruction-cache page c.
+func (p *Pmap) purgeICachePage(c arch.CachePage, f arch.PFN) {
+	before := p.m.Clock.Cycles()
+	p.m.PurgeIPage(c, f)
+	p.stats.IPurgePages++
+	p.stats.IPurgeCycles += p.m.Clock.Cycles() - before
+	p.emit(trace.EvIPurge, f, c, "")
+}
+
+// Mappings implements core.MappingTable.
+func (p *Pmap) Mappings(f arch.PFN) []core.Mapping {
+	return p.phys[f].mappings
+}
+
+// SetProtection implements core.MappingTable: set the hardware
+// protection of mapping m, clamped to the VM layer's ceiling, with the
+// required TLB invalidation.
+func (p *Pmap) SetProtection(m core.Mapping, prot arch.Prot) {
+	e := p.tables[m.Space][m.VPN]
+	if e == nil {
+		return
+	}
+	if prot > e.maxProt {
+		prot = e.maxProt
+	}
+	if e.prot != prot {
+		e.prot = prot
+		p.m.InvalidateTLB(m.Space, m.VPN)
+	}
+}
+
+// ClearModified implements core.MappingTable: clear the page-modified
+// bookkeeping for every mapping of frame f on cache page c so the next
+// store re-traps and cache_dirty can be re-established.
+func (p *Pmap) ClearModified(f arch.PFN, c arch.CachePage) {
+	for _, m := range p.phys[f].mappings {
+		if m.CachePage != c {
+			continue
+		}
+		e := p.tables[m.Space][m.VPN]
+		if e != nil && e.modified {
+			e.modified = false
+			p.m.InvalidateTLB(m.Space, m.VPN)
+		}
+	}
+}
+
+// chargeBookkeeping charges n cycles of kernel bookkeeping time.
+func (p *Pmap) chargeBookkeeping(n uint64) {
+	p.m.Clock.Charge(sim.CatFault, n)
+}
+
+// ResetStats zeroes the pmap and CacheControl counters (harnesses call
+// this after workload setup so measurements cover only the timed phase).
+func (p *Pmap) ResetStats() {
+	p.stats = Stats{}
+	p.ctl.ResetStats()
+}

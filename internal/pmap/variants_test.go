@@ -1,0 +1,212 @@
+package pmap
+
+import (
+	"testing"
+
+	"vcache/internal/arch"
+	"vcache/internal/machine"
+	"vcache/internal/mem"
+	"vcache/internal/policy"
+)
+
+// Tut keys its lazy consistency state to virtual addresses: only a remap
+// at the *same* virtual address avoids cache operations; an aligned but
+// different address still pays.
+
+func TestTutEqualVPNReuseIsFree(t *testing.T) {
+	r := newRig(t, policy.Tut().Features)
+	f, _ := r.p.AllocFrame(arch.NoCachePage)
+	r.p.Enter(1, 0x10, f, arch.ProtReadWrite, KindUser)
+	r.write(t, 1, 0x10, 0, 1)
+	r.p.Remove(1, 0x10)
+	before := r.p.Stats()
+	r.p.Enter(2, 0x10, f, arch.ProtReadWrite, KindUser) // same VPN, other space
+	after := r.p.Stats()
+	if after.DFlushPages != before.DFlushPages || after.DPurgePages != before.DPurgePages {
+		t.Error("Tut: equal-VPN remap performed cache operations")
+	}
+	if got := r.read(t, 2, 0x10, 0); got != 1 {
+		t.Fatalf("read = %d", got)
+	}
+	r.checkOracle(t)
+}
+
+func TestTutAlignedButUnequalReuseCleans(t *testing.T) {
+	r := newRig(t, policy.Tut().Features)
+	f, _ := r.p.AllocFrame(arch.NoCachePage)
+	r.p.Enter(1, 0x10, f, arch.ProtReadWrite, KindUser)
+	r.write(t, 1, 0x10, 0, 1)
+	r.p.Remove(1, 0x10)
+	before := r.p.Stats()
+	// Aligned (same color) but a different virtual page: the CMU
+	// system would pay nothing; Tut flushes.
+	r.p.Enter(1, 0x10+64, f, arch.ProtReadWrite, KindUser)
+	after := r.p.Stats()
+	if after.DFlushPages == before.DFlushPages {
+		t.Error("Tut: unequal-VPN remap performed no cleaning")
+	}
+	if got := r.read(t, 1, 0x10+64, 0); got != 1 {
+		t.Fatalf("read = %d", got)
+	}
+	r.checkOracle(t)
+}
+
+// Sun makes frames with unaligned aliases non-cacheable.
+
+func TestSunUnalignedAliasGoesUncached(t *testing.T) {
+	r := newRig(t, policy.Sun().Features)
+	f, _ := r.p.AllocFrame(arch.NoCachePage)
+	r.p.Enter(1, 0x10, f, arch.ProtReadWrite, KindUser)
+	r.write(t, 1, 0x10, 0, 42)
+	// Second, unaligned mapping: the frame must become uncacheable and
+	// the cached data must have been cleaned out first.
+	r.p.Enter(2, 0x11, f, arch.ProtReadWrite, KindUser)
+	if got := r.read(t, 2, 0x11, 0); got != 42 {
+		t.Fatalf("uncached alias read = %d", got)
+	}
+	r.write(t, 2, 0x11, 0, 43)
+	if got := r.read(t, 1, 0x10, 0); got != 43 {
+		t.Fatalf("uncached alias read back = %d", got)
+	}
+	if p, _ := r.m.DCache.Present(r.m.Geom.FrameBase(f)); p {
+		t.Error("uncached frame has cached lines")
+	}
+	r.checkOracle(t)
+}
+
+func TestSunAlignedAliasesStayCached(t *testing.T) {
+	r := newRig(t, policy.Sun().Features)
+	f, _ := r.p.AllocFrame(arch.NoCachePage)
+	r.p.Enter(1, 0x10, f, arch.ProtReadWrite, KindUser)
+	r.write(t, 1, 0x10, 0, 7)
+	r.p.Enter(2, 0x10+64, f, arch.ProtReadWrite, KindUser) // aligned
+	if got := r.read(t, 2, 0x10+64, 0); got != 7 {
+		t.Fatalf("aligned alias read = %d", got)
+	}
+	if p, _ := r.m.DCache.Present(r.m.Geom.FrameBase(f)); !p {
+		t.Error("aligned aliases should remain cacheable under Sun")
+	}
+	r.checkOracle(t)
+}
+
+func TestSunUncachedFrameRecovers(t *testing.T) {
+	r := newRig(t, policy.Sun().Features)
+	f, _ := r.p.AllocFrame(arch.NoCachePage)
+	r.p.Enter(1, 0x10, f, arch.ProtReadWrite, KindUser)
+	r.write(t, 1, 0x10, 0, 1)
+	r.p.Enter(2, 0x11, f, arch.ProtReadWrite, KindUser) // → uncached
+	r.p.Remove(2, 0x11)
+	r.p.Remove(1, 0x10)
+	r.p.FreeFrame(f)
+	// After recycling, the frame is cacheable again.
+	f2, _ := r.p.AllocFrame(arch.NoCachePage)
+	for f2 != f {
+		f2, _ = r.p.AllocFrame(arch.NoCachePage)
+	}
+	r.p.Enter(1, 0x20, f, arch.ProtReadWrite, KindUser)
+	r.write(t, 1, 0x20, 0, 9)
+	if p, _ := r.m.DCache.Present(r.m.Geom.FrameBase(f)); !p {
+		t.Error("recycled frame did not regain cacheability")
+	}
+	r.checkOracle(t)
+}
+
+func TestWindowPoolRoundTrip(t *testing.T) {
+	geom := arch.HP720()
+	wp := newWindowPool(geom)
+	seen := map[arch.VPN]bool{}
+	var vpns []arch.VPN
+	for i := 0; i < windowSlotsPerColor; i++ {
+		v := wp.acquire(5)
+		if uint64(v)%geom.DCachePages() != 5 {
+			t.Fatalf("window %#x has wrong color", uint64(v))
+		}
+		if seen[v] {
+			t.Fatalf("window %#x issued twice", uint64(v))
+		}
+		seen[v] = true
+		vpns = append(vpns, v)
+	}
+	for _, v := range vpns {
+		wp.release(v)
+	}
+	// Exhaustion panics (a kernel bug, not a user error).
+	for i := 0; i < windowSlotsPerColor; i++ {
+		wp.acquire(5)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("window pool exhaustion should panic")
+		}
+	}()
+	wp.acquire(5)
+}
+
+func TestFreeFrameWithMappingsPanics(t *testing.T) {
+	r := newRig(t, lazyFeatures())
+	f, _ := r.p.AllocFrame(arch.NoCachePage)
+	r.p.Enter(1, 0x10, f, arch.ProtReadWrite, KindUser)
+	defer func() {
+		if recover() == nil {
+			t.Error("freeing a mapped frame should panic")
+		}
+	}()
+	r.p.FreeFrame(f)
+}
+
+func TestRemoveAll(t *testing.T) {
+	r := newRig(t, lazyFeatures())
+	for i := 0; i < 5; i++ {
+		f, _ := r.p.AllocFrame(arch.NoCachePage)
+		r.p.Enter(3, arch.VPN(0x10+i), f, arch.ProtReadWrite, KindUser)
+	}
+	r.p.RemoveAll(3)
+	for i := 0; i < 5; i++ {
+		if _, ok := r.p.Translate(3, arch.VPN(0x10+i)); ok {
+			t.Fatalf("mapping %d survived RemoveAll", i)
+		}
+	}
+}
+
+func TestColoredFreeListIntegration(t *testing.T) {
+	// With the colored-free-list extension, a recycled frame handed
+	// out for a same-colored page arrives aligned and pays nothing.
+	feat := lazyFeatures()
+	feat.ColoredFreeList = true
+	cfg := policy.ConfigF()
+	cfg.Features = feat
+	r := newRigColored(t, feat)
+	f, _ := r.p.AllocFrame(5)
+	r.p.Enter(1, 0x05, f, arch.ProtReadWrite, KindUser) // color 5
+	r.write(t, 1, 0x05, 0, 3)
+	r.p.Remove(1, 0x05)
+	r.p.FreeFrame(f)
+	got, err := r.p.AllocFrame(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != f {
+		t.Skipf("allocator handed out a different frame (%d); coloring not observable", got)
+	}
+	if r.p.Stats().AlignedAllocHits == 0 {
+		t.Error("aligned allocation not counted")
+	}
+}
+
+func newRigColored(t *testing.T, feat policy.Features) *rig {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.Frames = 256
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := mem.NewAllocator(cfg.Geometry, cfg.Frames, 8, mem.ColoredLists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{m: m, al: al}
+	r.p = New(m, al, feat)
+	m.SetFaultHandler(r)
+	return r
+}

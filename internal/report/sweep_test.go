@@ -1,0 +1,38 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMemorySweepFormatting(t *testing.T) {
+	rows := []MemorySweepRow{
+		{Frames: 512, Old: fakeResult("kb", "A", 2.5, 100, 9000), New: fakeResult("kb", "F", 2.2, 10, 3000)},
+		{Frames: 4096, Old: fakeResult("kb", "A", 2.4, 90, 9000), New: fakeResult("kb", "F", 2.2, 10, 1000)},
+	}
+	rows[0].New.PM.NewMappingPurges = 1500
+	rows[0].New.PageOuts = 42
+	out := MemorySweep(rows)
+	for _, want := range []string{"512", "4096", "frames", "1500", "42", "new-map", "12.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("memory sweep missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPurgeCostSweepFormatting(t *testing.T) {
+	mk := func(cost uint64, secs float64, purgeCycles uint64) PurgeCostRow {
+		r := fakeResult("kb", "F", secs, 0, 0)
+		r.PM.DPurgeCycles = purgeCycles
+		return PurgeCostRow{LinePurgeHit: cost, Result: r}
+	}
+	out := PurgeCostSweep([]PurgeCostRow{
+		mk(1, 2.18, 500_000),
+		mk(7, 2.19, 700_000),
+	})
+	for _, want := range []string{"purge-hit cycles", "2.180s", "0.0100s", "0.0140s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("purge sweep missing %q:\n%s", want, out)
+		}
+	}
+}

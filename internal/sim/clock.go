@@ -1,0 +1,79 @@
+package sim
+
+// Clock accumulates simulated CPU cycles, attributed to named categories
+// so that experiment harnesses can decompose elapsed time the way the
+// paper's Table 4 does (cycles spent purging, flushing, faulting, ...).
+type Clock struct {
+	timing Timing
+	cycles uint64
+	byCat  map[Category]uint64
+}
+
+// Category labels where simulated cycles were spent.
+type Category uint8
+
+const (
+	// CatAccess is ordinary CPU loads/stores/fetches (hits, misses,
+	// write-backs).
+	CatAccess Category = iota
+	// CatFlush is cycles spent in cache flush operations.
+	CatFlush
+	// CatPurge is cycles spent in cache purge operations.
+	CatPurge
+	// CatFault is trap/handler overhead for faults.
+	CatFault
+	// CatDMA is DMA programming and transfer time.
+	CatDMA
+	// CatCompute is workload "think time" charged explicitly by
+	// benchmark drivers.
+	CatCompute
+	numCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatAccess:
+		return "access"
+	case CatFlush:
+		return "flush"
+	case CatPurge:
+		return "purge"
+	case CatFault:
+		return "fault"
+	case CatDMA:
+		return "dma"
+	case CatCompute:
+		return "compute"
+	default:
+		return "unknown"
+	}
+}
+
+// NewClock returns a clock charging cycles per the given profile.
+func NewClock(t Timing) *Clock {
+	return &Clock{timing: t, byCat: make(map[Category]uint64, int(numCategories))}
+}
+
+// Timing returns the profile the clock was built with.
+func (c *Clock) Timing() Timing { return c.timing }
+
+// Charge adds n cycles in the given category.
+func (c *Clock) Charge(cat Category, n uint64) {
+	c.cycles += n
+	c.byCat[cat] += n
+}
+
+// Cycles returns the total cycles elapsed.
+func (c *Clock) Cycles() uint64 { return c.cycles }
+
+// CyclesIn returns the cycles charged to one category.
+func (c *Clock) CyclesIn(cat Category) uint64 { return c.byCat[cat] }
+
+// Seconds returns the elapsed simulated time in seconds.
+func (c *Clock) Seconds() float64 { return c.timing.Seconds(c.cycles) }
+
+// Reset zeroes the clock.
+func (c *Clock) Reset() {
+	c.cycles = 0
+	c.byCat = make(map[Category]uint64, int(numCategories))
+}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHP720TimingProperties(t *testing.T) {
+	tm := HP720Timing()
+	if tm.ClockHz != 50_000_000 {
+		t.Errorf("ClockHz = %d, want 50 MHz", tm.ClockHz)
+	}
+	// The paper: a purge or flush can be up to seven times slower when
+	// the data is in the cache.
+	if tm.LineFlushHit <= tm.LineFlushMiss {
+		t.Error("flush of a present line must cost more than of an absent one")
+	}
+	if tm.LineFlushHit/tm.LineFlushMiss != 7 {
+		t.Errorf("flush hit/miss ratio = %d, want 7", tm.LineFlushHit/tm.LineFlushMiss)
+	}
+	// The 720 purges no more quickly than it flushes.
+	if tm.LinePurgeHit != tm.LineFlushHit {
+		t.Error("720 purge-hit cost should equal flush-hit cost")
+	}
+	if got := tm.Seconds(50_000_000); got != 1.0 {
+		t.Errorf("Seconds(1s of cycles) = %v", got)
+	}
+}
+
+func TestFastPurgeTiming(t *testing.T) {
+	tm := FastPurgeTiming()
+	if tm.ICachePagePurge != 1 {
+		t.Errorf("fast profile icache page purge = %d, want 1", tm.ICachePagePurge)
+	}
+	if tm.LinePurgeHit != 0 || tm.LinePurgeMiss != 0 {
+		t.Error("fast profile line purge should cost ~0")
+	}
+	// Everything else matches the HP720 profile.
+	base := HP720Timing()
+	if tm.CacheHit != base.CacheHit || tm.LineFlushHit != base.LineFlushHit {
+		t.Error("fast profile must differ only in purge costs")
+	}
+}
+
+func TestClockChargesByCategory(t *testing.T) {
+	c := NewClock(HP720Timing())
+	c.Charge(CatAccess, 10)
+	c.Charge(CatFlush, 5)
+	c.Charge(CatAccess, 1)
+	if c.Cycles() != 16 {
+		t.Errorf("Cycles = %d, want 16", c.Cycles())
+	}
+	if c.CyclesIn(CatAccess) != 11 {
+		t.Errorf("CatAccess = %d, want 11", c.CyclesIn(CatAccess))
+	}
+	if c.CyclesIn(CatFlush) != 5 {
+		t.Errorf("CatFlush = %d, want 5", c.CyclesIn(CatFlush))
+	}
+	if c.CyclesIn(CatDMA) != 0 {
+		t.Errorf("CatDMA = %d, want 0", c.CyclesIn(CatDMA))
+	}
+	c.Reset()
+	if c.Cycles() != 0 || c.CyclesIn(CatAccess) != 0 {
+		t.Error("Reset did not zero the clock")
+	}
+}
+
+func TestClockSeconds(t *testing.T) {
+	c := NewClock(HP720Timing())
+	c.Charge(CatCompute, 25_000_000)
+	if got := c.Seconds(); got != 0.5 {
+		t.Errorf("Seconds = %v, want 0.5", got)
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	names := map[Category]string{
+		CatAccess: "access", CatFlush: "flush", CatPurge: "purge",
+		CatFault: "fault", CatDMA: "dma", CatCompute: "compute",
+	}
+	for cat, want := range names {
+		if cat.String() != want {
+			t.Errorf("%d.String() = %q, want %q", cat, cat.String(), want)
+		}
+	}
+	if Category(200).String() != "unknown" {
+		t.Error("unknown category should format as unknown")
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+	c := NewRand(8)
+	same := true
+	a2 := NewRand(7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed must not stick at zero")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(3)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRandIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandBoolProbability(t *testing.T) {
+	r := NewRand(11)
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	if hits < n/5 || hits > n/3 {
+		t.Errorf("Bool(0.25) hit %d of %d", hits, n)
+	}
+}

@@ -1,0 +1,146 @@
+// Package tlb implements a software-visible translation lookaside buffer.
+//
+// The TLB caches virtual-to-physical page translations together with the
+// page protection and the modify-trap flag. As on the PA-RISC, address
+// translation proceeds in parallel with the (virtually indexed) cache
+// lookup, and the resulting physical frame is compared against the
+// cache's physical tag. The operating system must invalidate TLB entries
+// whenever it changes a translation or protection — the consistency
+// algorithm depends on stale-protection accesses being impossible.
+package tlb
+
+import (
+	"vcache/internal/arch"
+	"vcache/internal/sim"
+)
+
+// Entry is one cached translation.
+type Entry struct {
+	PFN  arch.PFN
+	Prot arch.Prot
+	// NeedModTrap is set when the underlying page-table entry has not
+	// yet recorded a modification: the first write through this entry
+	// traps to the kernel (the PA-RISC "TLB dirty bit" trap), which is
+	// how the paper's implementation learns that a present cache page
+	// has become dirty without taking a protection fault on every
+	// store ("sets P[p].cache_dirty whenever the virtual memory system
+	// sets the page-modified bit yet the number of mapped bits is
+	// one").
+	NeedModTrap bool
+	// Uncached makes accesses through this translation bypass the
+	// caches entirely. Used by the Sun-style policy of Table 5, which
+	// makes unaligned aliases non-cacheable instead of managing them.
+	Uncached bool
+}
+
+// Walker is the page-table walk the hardware performs on a TLB miss.
+// It is implemented by the pmap layer.
+type Walker interface {
+	// Walk returns the translation for (space, vpn), or ok=false when
+	// no mapping exists (which the machine raises as a mapping fault).
+	Walk(space arch.SpaceID, vpn arch.VPN) (Entry, bool)
+}
+
+type key struct {
+	space arch.SpaceID
+	vpn   arch.VPN
+}
+
+type slot struct {
+	key   key
+	entry Entry
+	valid bool
+	lru   uint64
+}
+
+// Stats counts TLB events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Shootdowns uint64
+}
+
+// TLB is a fully associative, LRU-replaced translation cache.
+// It is not safe for concurrent use.
+type TLB struct {
+	slots []slot
+	index map[key]int
+	clock *sim.Clock
+	tick  uint64
+	stats Stats
+}
+
+// New returns a TLB with the given number of entries.
+func New(entries int, clock *sim.Clock) *TLB {
+	if entries <= 0 {
+		entries = 96 // the PA7000's combined TLB size class
+	}
+	return &TLB{
+		slots: make([]slot, entries),
+		index: make(map[key]int, entries),
+		clock: clock,
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// Lookup translates (space, vpn), walking the page tables via w on a
+// miss. ok=false means no translation exists.
+func (t *TLB) Lookup(space arch.SpaceID, vpn arch.VPN, w Walker) (Entry, bool) {
+	t.tick++
+	k := key{space, vpn}
+	if i, hit := t.index[k]; hit {
+		t.stats.Hits++
+		t.slots[i].lru = t.tick
+		return t.slots[i].entry, true
+	}
+	t.stats.Misses++
+	t.clock.Charge(sim.CatAccess, t.clock.Timing().TLBMiss)
+	e, ok := w.Walk(space, vpn)
+	if !ok {
+		return Entry{}, false
+	}
+	t.insert(k, e)
+	return e, true
+}
+
+func (t *TLB) insert(k key, e Entry) {
+	victim := 0
+	for i := range t.slots {
+		if !t.slots[i].valid {
+			victim = i
+			goto place
+		}
+		if t.slots[i].lru < t.slots[victim].lru {
+			victim = i
+		}
+	}
+	t.stats.Evictions++
+	delete(t.index, t.slots[victim].key)
+place:
+	t.slots[victim] = slot{key: k, entry: e, valid: true, lru: t.tick}
+	t.index[k] = victim
+}
+
+// InvalidatePage drops any cached translation for (space, vpn). The pmap
+// layer must call this whenever it changes that page's mapping,
+// protection, or modify-trap state.
+func (t *TLB) InvalidatePage(space arch.SpaceID, vpn arch.VPN) {
+	k := key{space, vpn}
+	if i, ok := t.index[k]; ok {
+		t.stats.Shootdowns++
+		t.slots[i].valid = false
+		delete(t.index, k)
+	}
+}
+
+// InvalidateAll flushes the whole TLB.
+func (t *TLB) InvalidateAll() {
+	t.stats.Shootdowns++
+	for i := range t.slots {
+		t.slots[i].valid = false
+	}
+	t.index = make(map[key]int, len(t.slots))
+}

@@ -1,0 +1,147 @@
+package tlb
+
+import (
+	"testing"
+
+	"vcache/internal/arch"
+	"vcache/internal/sim"
+)
+
+// mapWalker backs the TLB with a plain map and counts walks.
+type mapWalker struct {
+	entries map[arch.VPN]Entry
+	walks   int
+}
+
+func (w *mapWalker) Walk(space arch.SpaceID, vpn arch.VPN) (Entry, bool) {
+	w.walks++
+	e, ok := w.entries[vpn]
+	return e, ok
+}
+
+func rig() (*TLB, *mapWalker, *sim.Clock) {
+	clock := sim.NewClock(sim.HP720Timing())
+	w := &mapWalker{entries: map[arch.VPN]Entry{
+		1: {PFN: 10, Prot: arch.ProtRead},
+		2: {PFN: 20, Prot: arch.ProtReadWrite, NeedModTrap: true},
+	}}
+	return New(4, clock), w, clock
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	tl, w, clock := rig()
+	e, ok := tl.Lookup(1, 1, w)
+	if !ok || e.PFN != 10 {
+		t.Fatalf("lookup: ok=%t pfn=%d", ok, e.PFN)
+	}
+	if w.walks != 1 {
+		t.Errorf("walks = %d, want 1", w.walks)
+	}
+	missCycles := clock.Cycles()
+	if missCycles == 0 {
+		t.Error("TLB miss charged no cycles")
+	}
+	e, ok = tl.Lookup(1, 1, w)
+	if !ok || e.PFN != 10 || w.walks != 1 {
+		t.Error("second lookup should hit without a walk")
+	}
+	s := tl.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats hits=%d misses=%d", s.Hits, s.Misses)
+	}
+}
+
+func TestLookupNoMapping(t *testing.T) {
+	tl, w, _ := rig()
+	if _, ok := tl.Lookup(1, 99, w); ok {
+		t.Error("lookup of unmapped page succeeded")
+	}
+}
+
+func TestEntryFlagsPropagate(t *testing.T) {
+	tl, w, _ := rig()
+	e, _ := tl.Lookup(1, 2, w)
+	if !e.NeedModTrap {
+		t.Error("NeedModTrap lost")
+	}
+	w.entries[3] = Entry{PFN: 30, Prot: arch.ProtReadWrite, Uncached: true}
+	e, _ = tl.Lookup(1, 3, w)
+	if !e.Uncached {
+		t.Error("Uncached lost")
+	}
+}
+
+func TestInvalidatePageForcesRewalk(t *testing.T) {
+	tl, w, _ := rig()
+	tl.Lookup(1, 1, w)
+	// Change the underlying translation; the TLB must not serve the old
+	// one after invalidation.
+	w.entries[1] = Entry{PFN: 11, Prot: arch.ProtReadWrite}
+	tl.InvalidatePage(1, 1)
+	e, _ := tl.Lookup(1, 1, w)
+	if e.PFN != 11 {
+		t.Errorf("stale TLB entry survived invalidation: pfn=%d", e.PFN)
+	}
+	if w.walks != 2 {
+		t.Errorf("walks = %d, want 2", w.walks)
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	tl, w, _ := rig()
+	tl.Lookup(1, 1, w)
+	tl.Lookup(1, 2, w)
+	tl.InvalidateAll()
+	tl.Lookup(1, 1, w)
+	tl.Lookup(1, 2, w)
+	if w.walks != 4 {
+		t.Errorf("walks = %d, want 4 after full shootdown", w.walks)
+	}
+}
+
+func TestSpacesAreDistinct(t *testing.T) {
+	tl, w, _ := rig()
+	tl.Lookup(1, 1, w)
+	tl.Lookup(2, 1, w)
+	if w.walks != 2 {
+		t.Error("different spaces shared a TLB entry")
+	}
+	tl.InvalidatePage(1, 1)
+	tl.Lookup(2, 1, w)
+	if w.walks != 2 {
+		t.Error("invalidation of space 1 hit space 2's entry")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	tl, w, _ := rig()
+	for i := arch.VPN(10); i < 14; i++ {
+		w.entries[i] = Entry{PFN: arch.PFN(i), Prot: arch.ProtRead}
+	}
+	// Fill the 4-entry TLB.
+	for i := arch.VPN(10); i < 14; i++ {
+		tl.Lookup(1, i, w)
+	}
+	tl.Lookup(1, 10, w) // refresh 10
+	w.entries[14] = Entry{PFN: 14, Prot: arch.ProtRead}
+	tl.Lookup(1, 14, w) // evicts 11 (LRU)
+	walks := w.walks
+	tl.Lookup(1, 10, w) // should still hit
+	if w.walks != walks {
+		t.Error("recently used entry was evicted")
+	}
+	tl.Lookup(1, 11, w) // must miss
+	if w.walks != walks+1 {
+		t.Error("LRU entry was not the victim")
+	}
+	if tl.Stats().Evictions == 0 {
+		t.Error("eviction not counted")
+	}
+}
+
+func TestDefaultSize(t *testing.T) {
+	tl := New(0, sim.NewClock(sim.HP720Timing()))
+	if len(tl.slots) != 96 {
+		t.Errorf("default TLB size = %d, want 96", len(tl.slots))
+	}
+}

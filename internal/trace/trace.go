@@ -1,0 +1,162 @@
+// Package trace records the consistency-relevant events of a simulation
+// run: cache page flushes and purges, fault handling, DMA preparation,
+// and page preparation. The recorder is a fixed-size ring buffer so it
+// can stay attached during long runs; `vcachesim -trace N` prints the
+// last N events of a benchmark, which is how the workloads in this
+// repository were debugged.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"vcache/internal/arch"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	// EvFlush is a data-cache page flush.
+	EvFlush Kind = iota
+	// EvPurge is a data-cache page purge.
+	EvPurge
+	// EvIPurge is an instruction-cache page purge.
+	EvIPurge
+	// EvMappingFault is a first-touch fault.
+	EvMappingFault
+	// EvConsistencyFault is a protection trap taken for consistency.
+	EvConsistencyFault
+	// EvModifyFault is a first-write (TLB dirty bit) trap.
+	EvModifyFault
+	// EvDMAPrep is DMA preparation on a frame.
+	EvDMAPrep
+	// EvPrepare is page preparation (zero or copy).
+	EvPrepare
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EvFlush:
+		return "flush"
+	case EvPurge:
+		return "purge"
+	case EvIPurge:
+		return "ipurge"
+	case EvMappingFault:
+		return "map-fault"
+	case EvConsistencyFault:
+		return "cons-fault"
+	case EvModifyFault:
+		return "mod-fault"
+	case EvDMAPrep:
+		return "dma-prep"
+	case EvPrepare:
+		return "prepare"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Seq    uint64
+	Cycles uint64
+	Kind   Kind
+	Frame  arch.PFN
+	Color  arch.CachePage
+	Space  arch.SpaceID
+	VPN    arch.VPN
+	Note   string
+}
+
+func (e Event) String() string {
+	color := "-"
+	if e.Color != arch.NoCachePage {
+		color = fmt.Sprintf("%d", e.Color)
+	}
+	s := fmt.Sprintf("%8d @%-10d %-10s frame=%-4d color=%-2s", e.Seq, e.Cycles, e.Kind, e.Frame, color)
+	if e.VPN != 0 {
+		s += fmt.Sprintf(" space=%d vpn=%#x", e.Space, uint64(e.VPN))
+	}
+	if e.Note != "" {
+		s += " " + e.Note
+	}
+	return s
+}
+
+// Recorder is a ring buffer of events. A nil *Recorder discards
+// everything, so call sites need no guards.
+type Recorder struct {
+	buf  []Event
+	seq  uint64
+	next int
+	full bool
+}
+
+// NewRecorder returns a recorder keeping the last `size` events.
+func NewRecorder(size int) *Recorder {
+	if size <= 0 {
+		size = 1024
+	}
+	return &Recorder{buf: make([]Event, size)}
+}
+
+// Record appends an event.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.seq++
+	e.Seq = r.seq
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Total returns how many events were recorded overall (including those
+// that have rotated out of the buffer).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dump writes the retained events to w, oldest first.
+func (r *Recorder) Dump(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountByKind tallies the retained events.
+func (r *Recorder) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range r.Events() {
+		out[e.Kind]++
+	}
+	return out
+}

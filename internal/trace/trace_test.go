@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"vcache/internal/arch"
+)
+
+func TestRecorderRingBuffer(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Kind: EvPurge, Frame: arch.PFN(i)})
+	}
+	if r.Total() != 5 {
+		t.Errorf("Total = %d", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events", len(evs))
+	}
+	// Oldest first: frames 2, 3, 4.
+	for i, e := range evs {
+		if e.Frame != arch.PFN(i+2) {
+			t.Errorf("event %d frame = %d, want %d", i, e.Frame, i+2)
+		}
+		if e.Seq != uint64(i+3) {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, i+3)
+		}
+	}
+}
+
+func TestRecorderPartial(t *testing.T) {
+	r := NewRecorder(10)
+	r.Record(Event{Kind: EvFlush})
+	r.Record(Event{Kind: EvPurge})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Kind != EvFlush || evs[1].Kind != EvPurge {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{})
+	if r.Total() != 0 || r.Events() != nil {
+		t.Error("nil recorder misbehaved")
+	}
+}
+
+func TestDumpAndCount(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(Event{Kind: EvFlush, Frame: 3, Color: 5})
+	r.Record(Event{Kind: EvFlush, Frame: 4, Color: 6})
+	r.Record(Event{Kind: EvDMAPrep, Frame: 3, Color: arch.NoCachePage, Note: "read"})
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"flush", "dma-prep", "frame=3", "color=5", "read", "color=-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	counts := r.CountByKind()
+	if counts[EvFlush] != 2 || counts[EvDMAPrep] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{EvFlush, EvPurge, EvIPurge, EvMappingFault, EvConsistencyFault, EvModifyFault, EvDMAPrep, EvPrepare}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has bad/duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestDefaultSize(t *testing.T) {
+	r := NewRecorder(0)
+	if len(r.buf) != 1024 {
+		t.Errorf("default size = %d", len(r.buf))
+	}
+}

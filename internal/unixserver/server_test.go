@@ -1,0 +1,127 @@
+package unixserver
+
+import (
+	"testing"
+
+	"vcache/internal/machine"
+	"vcache/internal/mem"
+	"vcache/internal/pmap"
+	"vcache/internal/policy"
+	"vcache/internal/vm"
+)
+
+func newRig(t *testing.T, cfg policy.Config) (*machine.Machine, *vm.System, *Server) {
+	t.Helper()
+	mc := machine.DefaultConfig()
+	mc.Frames = 256
+	m, err := machine.New(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := mem.NewAllocator(mc.Geometry, mc.Frames, 8, mem.SingleList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := pmap.New(m, al, cfg.Features)
+	sys := vm.New(pm, mc.Geometry)
+	m.SetFaultHandler(sys)
+	return m, sys, New(sys, m, cfg.Features)
+}
+
+func TestAttachDetachTransaction(t *testing.T) {
+	m, sys, srv := newRig(t, policy.New())
+	proc := sys.CreateSpace()
+	if err := srv.Attach(proc, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Attach(proc, 0); err == nil {
+		t.Error("double attach accepted")
+	}
+	for i := 0; i < 10; i++ {
+		if err := srv.Transaction(proc, 8, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Stats().Transactions != 10 {
+		t.Errorf("Transactions = %d", srv.Stats().Transactions)
+	}
+	if len(m.Oracle.Violations()) != 0 {
+		t.Fatalf("stale transfer: %v", m.Oracle.Violations()[0])
+	}
+	srv.Detach(proc)
+	if err := srv.Transaction(proc, 1, 1); err == nil {
+		t.Error("transaction after detach accepted")
+	}
+	srv.Detach(proc) // idempotent
+}
+
+func TestAlignmentPolicy(t *testing.T) {
+	// New policy: channels align. Old policy: fixed addresses, which
+	// align for at most one process in DCachePages.
+	_, sysNew, srvNew := newRig(t, policy.New())
+	for i := 0; i < 4; i++ {
+		if err := srvNew.Attach(sysNew.CreateSpace(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srvNew.Stats().AlignedChannels != 4 {
+		t.Errorf("new server aligned %d of 4 channels", srvNew.Stats().AlignedChannels)
+	}
+
+	_, sysOld, srvOld := newRig(t, policy.Old())
+	for i := 0; i < 4; i++ {
+		if err := srvOld.Attach(sysOld.CreateSpace(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srvOld.Stats().AlignedChannels != 0 {
+		t.Errorf("old server aligned %d of 4 channels", srvOld.Stats().AlignedChannels)
+	}
+}
+
+func TestUnalignedChannelCostsMore(t *testing.T) {
+	mOld, sysOld, srvOld := newRig(t, policy.ConfigB())
+	pOld := sysOld.CreateSpace()
+	if err := srvOld.Attach(pOld, 0); err != nil {
+		t.Fatal(err)
+	}
+	mNew, sysNew, srvNew := newRig(t, policy.ConfigC())
+	pNew := sysNew.CreateSpace()
+	if err := srvNew.Attach(pNew, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Warm both, then measure.
+	srvOld.Transaction(pOld, 8, 4)
+	srvNew.Transaction(pNew, 8, 4)
+	mOld.Clock.Reset()
+	mNew.Clock.Reset()
+	for i := 0; i < 50; i++ {
+		if err := srvOld.Transaction(pOld, 8, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := srvNew.Transaction(pNew, 8, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mNew.Clock.Cycles()*5 > mOld.Clock.Cycles() {
+		t.Errorf("aligned transactions (%d cycles) not ≥5x cheaper than unaligned (%d)",
+			mNew.Clock.Cycles(), mOld.Clock.Cycles())
+	}
+}
+
+func TestMessageTooLarge(t *testing.T) {
+	_, sys, srv := newRig(t, policy.New())
+	p := sys.CreateSpace()
+	if err := srv.Attach(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Transaction(p, 10_000, 1); err == nil {
+		t.Error("oversized request accepted")
+	}
+	if err := srv.Transaction(p, 1, 10_000); err == nil {
+		t.Error("oversized response accepted")
+	}
+	if err := srv.Transaction(sys.CreateSpace(), 1, 1); err == nil {
+		t.Error("transaction from unattached space accepted")
+	}
+}

@@ -1,0 +1,209 @@
+package vm
+
+import (
+	"fmt"
+
+	"vcache/internal/arch"
+	"vcache/internal/machine"
+	"vcache/internal/pmap"
+)
+
+// HandleFault is the kernel's page-fault entry point (installed as the
+// machine's fault handler). It distinguishes the paper's two fault
+// classes:
+//
+//   - mapping faults: the first access to a page by an address space,
+//     which occur regardless of the cache architecture (Mach evaluates
+//     page-table entries lazily);
+//   - consistency faults: the translation exists, but the protection was
+//     restricted by the consistency algorithm, purely because the cache
+//     is virtually indexed. Modify faults (first write through a
+//     read-write translation) are bookkeeping on top.
+func (sys *System) HandleFault(f machine.Fault) error {
+	if f.Kind == machine.FaultModify {
+		return sys.pm.ModifyFault(f.Space, sys.geom.PageOf(f.VA))
+	}
+	vpn := sys.geom.PageOf(f.VA)
+
+	if f.Space == arch.KernelSpace {
+		// Kernel mappings (buffers, windows) are managed directly by
+		// the pmap layer; any trap on them is a consistency fault.
+		if _, ok := sys.pm.Translate(f.Space, vpn); !ok {
+			return fmt.Errorf("vm: kernel fault on unmapped vpn %#x", uint64(vpn))
+		}
+		sys.pm.CountConsistencyFault()
+		return sys.pm.Access(f.Space, vpn, f.Access, false)
+	}
+
+	s, ok := sys.spaces[f.Space]
+	if !ok {
+		return fmt.Errorf("vm: fault in unknown space %d", f.Space)
+	}
+	r := s.regionAt(vpn)
+	if r == nil {
+		return fmt.Errorf("vm: segmentation fault: space %d va %#x", f.Space, uint64(f.VA))
+	}
+	if f.Access == machine.AccessWrite && !r.MaxProt.CanWrite() && !r.COW {
+		return fmt.Errorf("vm: write to read-only region: space %d va %#x", f.Space, uint64(f.VA))
+	}
+
+	_, mapped := sys.pm.Translate(f.Space, vpn)
+	idx := r.ObjOff + uint64(vpn-r.Start)
+
+	// Copy-on-write promotion: a write to a shared COW page gets a
+	// private copy first. The old mapping is broken and a new frame is
+	// prepared with the page-copy path (exercising aligned
+	// preparation).
+	if f.Access == machine.AccessWrite && r.COW {
+		if _, private := r.Shadow.pages[idx]; !private {
+			if err := sys.cowCopy(s, r, vpn, idx, mapped); err != nil {
+				return err
+			}
+			sys.pm.CountMappingFault()
+			return sys.pm.Access(f.Space, vpn, f.Access, true)
+		}
+	}
+
+	if mapped {
+		// Pure consistency fault: the page is resident and mapped;
+		// only the virtually indexed cache made this access trap.
+		sys.pm.CountConsistencyFault()
+		return sys.pm.Access(f.Space, vpn, f.Access, false)
+	}
+
+	frame, err := sys.resolvePage(s, r, vpn, idx)
+	if err != nil {
+		return err
+	}
+	kind := pmap.KindUser
+	maxProt := r.MaxProt
+	if r.Kind == KindText {
+		kind = pmap.KindText
+		maxProt = arch.ProtRead
+	} else if r.COW {
+		if _, private := r.Shadow.pages[idx]; !private {
+			// Shared COW page: hardware may at most read it.
+			maxProt = arch.ProtRead
+		}
+	}
+	sys.pm.Enter(f.Space, vpn, frame, maxProt, kind)
+	sys.pm.CountMappingFault()
+	return sys.pm.Access(f.Space, vpn, f.Access, true)
+}
+
+// resolvePage returns the frame backing (r, idx), materializing it if
+// necessary: from the region's private shadow, the shared object, the
+// text pager, or a fresh zero-filled frame.
+func (sys *System) resolvePage(s *Space, r *Region, vpn arch.VPN, idx uint64) (arch.PFN, error) {
+	if r.Shadow != nil {
+		if f, ok := r.Shadow.pages[idx]; ok {
+			return f, nil
+		}
+		if blk, ok := r.Shadow.swapped[idx]; ok {
+			return sys.swapIn(r.Shadow, idx, blk, sys.geom.DColorOfVPN(vpn))
+		}
+	}
+	if f, ok := r.Obj.pages[idx]; ok {
+		return f, nil
+	}
+	if blk, ok := r.Obj.swapped[idx]; ok {
+		return sys.swapIn(r.Obj, idx, blk, sys.geom.DColorOfVPN(vpn))
+	}
+	if r.Obj.pager != nil {
+		// Page-in: the file system provides the content in a
+		// buffer-cache frame and the kernel copies it into a fresh
+		// frame through the data cache (aligned with the faulting
+		// address under the aligned-prepare policy). For text regions
+		// the frame is then flushed from the data cache and the
+		// instruction-cache page purged — the data-to-instruction-
+		// space copy; for mapped-file data regions the dirty copy
+		// stays cached where the reader will look for it.
+		src, err := r.Obj.pager.PageIn(idx)
+		if err != nil {
+			return 0, fmt.Errorf("vm: page-in %d: %w", idx, err)
+		}
+		dst, err := sys.allocFrame(sys.geom.DColorOfVPN(vpn))
+		if err != nil {
+			return 0, err
+		}
+		if r.Kind == KindText {
+			err = sys.pm.CopyToText(src, dst, vpn)
+		} else {
+			err = sys.pm.CopyPage(src, dst, vpn)
+		}
+		if err != nil {
+			return 0, err
+		}
+		r.Obj.pages[idx] = dst
+		sys.noteResident(r.Obj, idx)
+		if r.Kind == KindText {
+			sys.stats.TextPageIns++
+		} else {
+			sys.stats.FilePageIns++
+		}
+		return dst, nil
+	}
+	// Anonymous zero-fill.
+	f, err := sys.allocFrame(sys.geom.DColorOfVPN(vpn))
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.pm.ZeroPage(f, vpn); err != nil {
+		return 0, err
+	}
+	r.Obj.pages[idx] = f
+	sys.noteResident(r.Obj, idx)
+	sys.stats.ZeroFillFaults++
+	return f, nil
+}
+
+// cowCopy gives region r a private copy of object page idx and maps it
+// at vpn (replacing any read-only mapping of the shared frame).
+func (sys *System) cowCopy(s *Space, r *Region, vpn arch.VPN, idx uint64, wasMapped bool) error {
+	src, ok := r.Obj.pages[idx]
+	if !ok {
+		if blk, swapped := r.Obj.swapped[idx]; swapped {
+			// The shared page was paged out: bring it back before
+			// copying.
+			var err error
+			src, err = sys.swapIn(r.Obj, idx, blk, sys.geom.DColorOfVPN(vpn))
+			if err != nil {
+				return err
+			}
+		} else {
+			// Writing an absent COW page: nothing to copy, zero-fill
+			// directly into the shadow.
+			f, err := sys.allocFrame(sys.geom.DColorOfVPN(vpn))
+			if err != nil {
+				return err
+			}
+			if err := sys.pm.ZeroPage(f, vpn); err != nil {
+				return err
+			}
+			r.Shadow.pages[idx] = f
+			sys.noteResident(r.Shadow, idx)
+			sys.stats.ZeroFillFaults++
+			sys.pm.Enter(s.ID, vpn, f, r.MaxProt, pmap.KindUser)
+			return nil
+		}
+	}
+	sys.pin(src)
+	dst, err := sys.allocFrame(sys.geom.DColorOfVPN(vpn))
+	if err != nil {
+		sys.unpin(src)
+		return err
+	}
+	if wasMapped {
+		sys.pm.Remove(s.ID, vpn)
+	}
+	err = sys.pm.CopyPage(src, dst, vpn)
+	sys.unpin(src)
+	if err != nil {
+		return err
+	}
+	r.Shadow.pages[idx] = dst
+	sys.noteResident(r.Shadow, idx)
+	sys.stats.COWCopies++
+	sys.pm.Enter(s.ID, vpn, dst, r.MaxProt, pmap.KindUser)
+	return nil
+}

@@ -1,0 +1,68 @@
+package vm
+
+import (
+	"testing"
+
+	"vcache/internal/arch"
+	"vcache/internal/policy"
+)
+
+// TestMapSharedObjectJoinsExisting covers the third-party join path: a
+// new space mapping an already-shared object at an aligned address.
+func TestMapSharedObjectJoinsExisting(t *testing.T) {
+	r := newRig(t, policy.New())
+	a, b, c := r.sys.CreateSpace(), r.sys.CreateSpace(), r.sys.CreateSpace()
+	ra, _, err := r.sys.MapSharedPair(a, b, 1, NoVPN, NoVPN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.write(t, a, ra.Start, 0, 9)
+
+	rc, err := r.sys.MapSharedObject(c, ra.Obj, 1, NoVPN, r.m.Geom.DColorOfVPN(ra.Start))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.m.Geom.DColorOfVPN(rc.Start) != r.m.Geom.DColorOfVPN(ra.Start) {
+		t.Error("third mapping did not align")
+	}
+	if got := r.read(t, c, rc.Start, 0); got != 9 {
+		t.Fatalf("joined space read %d", got)
+	}
+	r.write(t, c, rc.Start, 0, 10)
+	if got := r.read(t, a, ra.Start, 0); got != 10 {
+		t.Fatalf("original space read %d after joiner write", got)
+	}
+	r.check(t)
+}
+
+// TestRegionKindStringsAndAccessors covers the small accessors.
+func TestRegionKindStringsAndAccessors(t *testing.T) {
+	for _, k := range []RegionKind{KindAnon, KindShared, KindText} {
+		if k.String() == "" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	r := newRig(t, policy.New())
+	if r.sys.Pmap() != r.pm {
+		t.Error("Pmap accessor wrong")
+	}
+	obj := r.sys.NewTextObject(nil)
+	if obj.pager != nil {
+		t.Error("nil pager stored as non-nil")
+	}
+}
+
+// TestResolveSharedResidentPage covers resolvePage's shared-object hit
+// path from a second space (no shadow, page already resident).
+func TestResolveSharedResidentPage(t *testing.T) {
+	r := newRig(t, policy.New())
+	a, b := r.sys.CreateSpace(), r.sys.CreateSpace()
+	obj := r.sys.NewObject()
+	ra, _ := r.sys.MapObject(a, obj, 0, 1, 0x100, arch.NoCachePage, arch.ProtReadWrite, false, KindShared)
+	r.write(t, a, ra.Start, 0, 3)
+	rb, _ := r.sys.MapObject(b, obj, 0, 1, 0x200, arch.NoCachePage, arch.ProtReadWrite, false, KindShared)
+	if got := r.read(t, b, rb.Start, 0); got != 3 {
+		t.Fatalf("second space read %d", got)
+	}
+	r.check(t)
+}

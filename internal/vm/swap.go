@@ -1,0 +1,197 @@
+package vm
+
+import (
+	"fmt"
+
+	"vcache/internal/arch"
+	"vcache/internal/dma"
+)
+
+// Swap support — the default pager. When physical memory runs out, the
+// page stealer evicts resident pages in FIFO order: anonymous pages are
+// written to the swap device (a DMA-read of the frame, so dirty cache
+// data is flushed first), text pages are simply dropped (their pager
+// re-reads them from the file system), and the freed frames recycle
+// through the free list. A later fault swaps the page back in by DMA.
+//
+// This is the remaining DMA source the paper's machine had: paging
+// traffic, with the same consistency discipline as every other device
+// transfer.
+
+// swapStats extends Stats (kept separate to preserve field order).
+type swapStats struct {
+	PageOuts  uint64 // anonymous pages written to swap
+	SwapIns   uint64 // pages read back from swap
+	TextDrops uint64 // text pages dropped under pressure
+}
+
+// SetSwap attaches a swap device. Without one, running out of physical
+// memory is a fatal allocation error (the pre-swap behavior).
+func (sys *System) SetSwap(disk *dma.Disk) {
+	sys.swap = disk
+}
+
+// SwapStats returns the paging counters.
+func (sys *System) SwapStats() (pageOuts, swapIns, textDrops uint64) {
+	return sys.swapStats.PageOuts, sys.swapStats.SwapIns, sys.swapStats.TextDrops
+}
+
+// residentEntry is one page in the reclamation queue.
+type residentEntry struct {
+	obj *Object
+	idx uint64
+	// secondChance marks a page the clock hand already passed once
+	// (its reference bit was set and has been cleared): next encounter
+	// it is evicted unless it was referenced again.
+	secondChance bool
+}
+
+// noteResident queues a freshly materialized page for future
+// reclamation.
+func (sys *System) noteResident(obj *Object, idx uint64) {
+	sys.residents = append(sys.residents, residentEntry{obj: obj, idx: idx})
+}
+
+// allocFrame allocates a physical frame, evicting pages when memory is
+// exhausted and a swap device is attached.
+func (sys *System) allocFrame(color arch.CachePage) (arch.PFN, error) {
+	for attempt := 0; ; attempt++ {
+		f, err := sys.pm.AllocFrame(color)
+		if err == nil {
+			return f, nil
+		}
+		if sys.swap == nil || attempt > 0 {
+			return 0, err
+		}
+		if err := sys.reclaim(reclaimBatch); err != nil {
+			return 0, fmt.Errorf("vm: out of memory and %w", err)
+		}
+	}
+}
+
+// reclaimBatch is how many pages one reclamation pass tries to free.
+const reclaimBatch = 32
+
+// reclaim evicts up to n resident pages with a second-chance (clock)
+// scan: a page whose mappings were referenced since the last pass gets
+// its reference bits cleared and one more trip around the queue; a page
+// that stayed cold is evicted. Pinned frames (sources of an in-progress
+// copy) are always requeued.
+func (sys *System) reclaim(n int) error {
+	freed := 0
+	scanned := 0
+	// Two full passes: the first may only clear reference bits.
+	limit := 2 * len(sys.residents)
+	for freed < n && scanned < limit && len(sys.residents) > 0 {
+		scanned++
+		e := sys.residents[0]
+		sys.residents = sys.residents[1:]
+		f, resident := e.obj.pages[e.idx]
+		if !resident {
+			continue // already unmapped, transferred, or freed
+		}
+		if sys.pinned[f] > 0 {
+			sys.residents = append(sys.residents, e)
+			continue
+		}
+		if sys.pm.TestAndClearReferenced(f) && !e.secondChance {
+			e.secondChance = true
+			sys.residents = append(sys.residents, e)
+			continue
+		}
+		if err := sys.evict(e.obj, e.idx, f); err != nil {
+			return err
+		}
+		freed++
+	}
+	if freed == 0 {
+		return fmt.Errorf("vm: nothing left to reclaim")
+	}
+	return nil
+}
+
+// pin protects a frame from reclamation while a copy reads from it (the
+// page stealer runs inside frame allocation, which copy paths perform
+// while holding a reference to their source frame).
+func (sys *System) pin(f arch.PFN) {
+	if sys.pinned == nil {
+		sys.pinned = make(map[arch.PFN]int)
+	}
+	sys.pinned[f]++
+}
+
+func (sys *System) unpin(f arch.PFN) {
+	sys.pinned[f]--
+	if sys.pinned[f] <= 0 {
+		delete(sys.pinned, f)
+	}
+}
+
+// evict pushes one resident page out of memory.
+func (sys *System) evict(obj *Object, idx uint64, f arch.PFN) error {
+	sys.pm.UnmapFrame(f)
+	if obj.pager != nil {
+		// Text pages are clean copies of file data: drop them; the
+		// pager re-reads on the next fault.
+		delete(obj.pages, idx)
+		sys.pm.FreeFrame(f)
+		sys.swapStats.TextDrops++
+		return nil
+	}
+	// Anonymous page: write to swap. The DMA-read preparation flushes
+	// any dirty cached data so the device reads current bytes.
+	blk := sys.allocSwapBlock()
+	sys.pm.PrepareDMARead(f)
+	if err := sys.swap.WriteBlock(blk, f); err != nil {
+		return fmt.Errorf("vm: pageout: %w", err)
+	}
+	if obj.swapped == nil {
+		obj.swapped = make(map[uint64]dma.BlockID)
+	}
+	obj.swapped[idx] = blk
+	delete(obj.pages, idx)
+	sys.pm.FreeFrame(f)
+	sys.swapStats.PageOuts++
+	return nil
+}
+
+// swapIn brings a swapped page of obj back into a fresh frame mapped at
+// color.
+func (sys *System) swapIn(obj *Object, idx uint64, blk dma.BlockID, color arch.CachePage) (arch.PFN, error) {
+	f, err := sys.allocFrame(color)
+	if err != nil {
+		return 0, err
+	}
+	sys.pm.PrepareDMAWrite(f)
+	if err := sys.swap.ReadBlock(blk, f); err != nil {
+		return 0, fmt.Errorf("vm: swap-in: %w", err)
+	}
+	delete(obj.swapped, idx)
+	sys.freeSwapBlock(blk)
+	obj.pages[idx] = f
+	sys.noteResident(obj, idx)
+	sys.swapStats.SwapIns++
+	return f, nil
+}
+
+// allocSwapBlock hands out a swap block, reusing freed ones.
+func (sys *System) allocSwapBlock() dma.BlockID {
+	if n := len(sys.swapFree); n > 0 {
+		blk := sys.swapFree[n-1]
+		sys.swapFree = sys.swapFree[:n-1]
+		return blk
+	}
+	return sys.swap.AllocBlock()
+}
+
+func (sys *System) freeSwapBlock(blk dma.BlockID) {
+	sys.swapFree = append(sys.swapFree, blk)
+}
+
+// releaseSwap returns an object's swap blocks when it dies.
+func (sys *System) releaseSwap(obj *Object) {
+	for idx, blk := range obj.swapped {
+		sys.freeSwapBlock(blk)
+		delete(obj.swapped, idx)
+	}
+}

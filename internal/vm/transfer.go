@@ -1,0 +1,112 @@
+package vm
+
+import (
+	"fmt"
+
+	"vcache/internal/arch"
+)
+
+// This file implements the two sharing paths the paper changed in Mach:
+// IPC out-of-line page transfer (the kernel is free to choose the
+// destination virtual address, so it can choose one that aligns with the
+// source) and shared page pairs (the Unix server's per-process
+// communication pages, which used to be requested at fixed, unaligned
+// addresses).
+
+// TransferPage moves the page at fromVPN in space `from` into space
+// `to`, as the kernel's IPC code does for out-of-line message memory.
+// The destination address is chosen by the kernel: with the align-pages
+// feature it aligns in the cache with the sender's address, so no cache
+// management is needed; without it, first-fit selection applies and the
+// addresses rarely align. It returns the receiver-side VPN.
+func (sys *System) TransferPage(from *Space, fromVPN arch.VPN, to *Space) (arch.VPN, error) {
+	r := from.regionAt(fromVPN)
+	if r == nil {
+		return 0, fmt.Errorf("vm: transfer of unmapped vpn %#x in space %d", uint64(fromVPN), from.ID)
+	}
+	idx := r.ObjOff + uint64(fromVPN-r.Start)
+	obj := r.Obj
+	if r.Shadow != nil {
+		if _, ok := r.Shadow.pages[idx]; ok {
+			obj = r.Shadow
+		}
+	}
+	frame, ok := obj.pages[idx]
+	if !ok {
+		blk, swapped := obj.swapped[idx]
+		if !swapped {
+			return 0, fmt.Errorf("vm: transfer of non-resident page vpn %#x in space %d", uint64(fromVPN), from.ID)
+		}
+		var err error
+		frame, err = sys.swapIn(obj, idx, blk, sys.geom.DColorOfVPN(fromVPN))
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	// Pick the receiver address first so the copy path can prepare the
+	// page aligned with it.
+	wantColor := sys.geom.DColorOfVPN(fromVPN)
+	toVPN := sys.FindVA(to, 1, wantColor)
+
+	if obj.refs > 1 {
+		// The page is shared with other regions (a COW sibling still
+		// references the object): transfer a copy instead of stealing
+		// the frame out from under them.
+		sys.pin(frame)
+		dst, err := sys.allocFrame(sys.geom.DColorOfVPN(toVPN))
+		if err != nil {
+			sys.unpin(frame)
+			return 0, err
+		}
+		err = sys.pm.CopyPage(frame, dst, toVPN)
+		sys.unpin(frame)
+		if err != nil {
+			return 0, err
+		}
+		frame = dst
+	} else {
+		// Sole owner: detach from the sender — break the mapping
+		// (lazily or eagerly per policy) and steal the page.
+		sys.pm.Remove(from.ID, fromVPN)
+		delete(obj.pages, idx)
+	}
+
+	newObj := sys.NewObject()
+	newObj.pages[0] = frame
+	sys.noteResident(newObj, 0)
+	reg, err := sys.MapObject(to, newObj, 0, 1, toVPN, wantColor, arch.ProtReadWrite, false, KindAnon)
+	if err != nil {
+		return 0, err
+	}
+	sys.stats.PageTransfers++
+	if sys.geom.DColorOfVPN(reg.Start) == wantColor {
+		sys.stats.AlignedTransfers++
+	}
+	return reg.Start, nil
+}
+
+// MapSharedPair maps a fresh shared object into two spaces — the Unix
+// server's communication pages. With fixed addresses (fixedA/fixedB not
+// NoVPN) the mappings land where the caller demands, as the original
+// server did, and generally do not align; with NoVPN the virtual memory
+// system chooses both, aligning the second with the first.
+func (sys *System) MapSharedPair(a, b *Space, pages uint64, fixedA, fixedB arch.VPN) (*Region, *Region, error) {
+	obj := sys.NewObject()
+	ra, err := sys.MapObject(a, obj, 0, pages, fixedA, arch.NoCachePage, arch.ProtReadWrite, false, KindShared)
+	if err != nil {
+		return nil, nil, err
+	}
+	wantColor := sys.geom.DColorOfVPN(ra.Start)
+	rb, err := sys.MapObject(b, obj, 0, pages, fixedB, wantColor, arch.ProtReadWrite, false, KindShared)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ra, rb, nil
+}
+
+// MapSharedObject maps an existing shared object into a space, aligning
+// with the object's first established mapping when the policy allows.
+func (sys *System) MapSharedObject(s *Space, obj *Object, pages uint64, at arch.VPN, wantColor arch.CachePage) (*Region, error) {
+	return sys.MapObject(s, obj, 0, pages, at, wantColor, arch.ProtReadWrite, false, KindShared)
+}

@@ -1,0 +1,296 @@
+// Package vm is the machine-independent virtual memory system: address
+// spaces, memory objects, regions, and the fault handler that resolves
+// zero-fill, copy-on-write, and text faults before invoking the
+// machine-dependent consistency algorithm in pmap.
+//
+// It mirrors the structure the paper modifies in Mach 3.0:
+//
+//   - IPC out-of-line page transfers pick a destination virtual address
+//     in the receiver; with the "+align pages" feature the kernel picks
+//     one that aligns in the cache with the sender's, making the
+//     transfer free of consistency operations.
+//   - Page preparation (zero-fill and copy) passes the page's eventual
+//     virtual address down to the pmap layer so the preparation window
+//     can align ("+aligned prepare").
+//   - Shared pages can be placed at kernel-chosen, aligning addresses
+//     instead of caller-fixed ones (the Unix server change).
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"vcache/internal/arch"
+	"vcache/internal/dma"
+	"vcache/internal/machine"
+	"vcache/internal/pmap"
+	"vcache/internal/policy"
+)
+
+// NoVPN re-exports the pmap sentinel for "no address preference".
+const NoVPN = pmap.NoVPN
+
+// RegionKind labels a region's role.
+type RegionKind uint8
+
+const (
+	// KindAnon is private zero-fill memory.
+	KindAnon RegionKind = iota
+	// KindShared is memory shared between spaces.
+	KindShared
+	// KindText is an executable (instruction) mapping paged in from
+	// the file system.
+	KindText
+	// KindFile is a read-only data mapping of a file (mmap style),
+	// paged in from the file system through the data cache.
+	KindFile
+)
+
+func (k RegionKind) String() string {
+	switch k {
+	case KindAnon:
+		return "anon"
+	case KindShared:
+		return "shared"
+	case KindText:
+		return "text"
+	default:
+		return "file"
+	}
+}
+
+// Pager supplies page contents for text objects: it returns the physical
+// frame (a buffer-cache page) holding the data for object page idx. The
+// file system implements it.
+type Pager interface {
+	PageIn(idx uint64) (arch.PFN, error)
+}
+
+// Object is a memory object: a set of physical pages, possibly mapped by
+// several regions in several spaces.
+type Object struct {
+	id      uint64
+	pages   map[uint64]arch.PFN
+	swapped map[uint64]dma.BlockID // pages evicted to the swap device
+	refs    int
+	pager   Pager // nil: anonymous zero-fill
+}
+
+// Resident returns the number of resident pages.
+func (o *Object) Resident() int { return len(o.pages) }
+
+// Region maps a slice of an object into a space.
+type Region struct {
+	Start   arch.VPN
+	Pages   uint64
+	Obj     *Object
+	ObjOff  uint64
+	MaxProt arch.Prot
+	COW     bool
+	Shadow  *Object // private copies made on write when COW
+	Kind    RegionKind
+}
+
+// End returns the first VPN past the region.
+func (r *Region) End() arch.VPN { return r.Start + arch.VPN(r.Pages) }
+
+func (r *Region) contains(vpn arch.VPN) bool { return vpn >= r.Start && vpn < r.End() }
+
+// Space is one address space.
+type Space struct {
+	ID      arch.SpaceID
+	regions []*Region // sorted by Start
+	cursor  arch.VPN  // monotonic first-fit allocation cursor
+}
+
+// regionAt finds the region containing vpn, or nil.
+func (s *Space) regionAt(vpn arch.VPN) *Region {
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].End() > vpn })
+	if i < len(s.regions) && s.regions[i].contains(vpn) {
+		return s.regions[i]
+	}
+	return nil
+}
+
+func (s *Space) insertRegion(r *Region) {
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].Start >= r.Start })
+	s.regions = append(s.regions, nil)
+	copy(s.regions[i+1:], s.regions[i:])
+	s.regions[i] = r
+}
+
+func (s *Space) removeRegion(r *Region) {
+	for i := range s.regions {
+		if s.regions[i] == r {
+			s.regions = append(s.regions[:i], s.regions[i+1:]...)
+			return
+		}
+	}
+}
+
+// Stats counts VM-level events.
+type Stats struct {
+	ZeroFillFaults   uint64
+	COWCopies        uint64
+	TextPageIns      uint64
+	FilePageIns      uint64 // mapped-file data page-ins
+	PageTransfers    uint64
+	AlignedTransfers uint64 // transfers whose chosen VA aligned with the source
+}
+
+// System is the virtual memory system.
+type System struct {
+	geom    arch.Geometry
+	pm      *pmap.Pmap
+	feat    policy.Features
+	spaces  map[arch.SpaceID]*Space
+	nextID  arch.SpaceID
+	nextObj uint64
+	stats   Stats
+
+	// Paging state (swap.go). swap may be nil: no pager configured.
+	swap      *dma.Disk
+	swapFree  []dma.BlockID
+	residents []residentEntry
+	pinned    map[arch.PFN]int
+	swapStats swapStats
+}
+
+// New builds a VM system over the given pmap.
+func New(pm *pmap.Pmap, geom arch.Geometry) *System {
+	return &System{
+		geom:   geom,
+		pm:     pm,
+		feat:   pm.Features(),
+		spaces: make(map[arch.SpaceID]*Space),
+		nextID: 1, // space 0 is the kernel
+	}
+}
+
+// Pmap exposes the machine-dependent layer (the kernel uses it for
+// buffer mappings and DMA preparation).
+func (sys *System) Pmap() *pmap.Pmap { return sys.pm }
+
+// Stats returns a snapshot of the counters.
+func (sys *System) Stats() Stats { return sys.stats }
+
+// CreateSpace allocates a new, empty address space.
+func (sys *System) CreateSpace() *Space {
+	s := &Space{ID: sys.nextID, cursor: 0x1000}
+	sys.nextID++
+	sys.spaces[s.ID] = s
+	return s
+}
+
+// DestroySpace tears down every region of s and releases the space.
+func (sys *System) DestroySpace(s *Space) {
+	for len(s.regions) > 0 {
+		sys.Unmap(s, s.regions[len(s.regions)-1])
+	}
+	sys.pm.RemoveAll(s.ID)
+	delete(sys.spaces, s.ID)
+}
+
+// Space returns a space by ID.
+func (sys *System) Space(id arch.SpaceID) (*Space, bool) {
+	s, ok := sys.spaces[id]
+	return s, ok
+}
+
+// NewObject creates an anonymous (zero-fill) memory object.
+func (sys *System) NewObject() *Object {
+	sys.nextObj++
+	return &Object{id: sys.nextObj, pages: make(map[uint64]arch.PFN)}
+}
+
+// NewTextObject creates a pager-backed text object.
+func (sys *System) NewTextObject(p Pager) *Object {
+	o := sys.NewObject()
+	o.pager = p
+	return o
+}
+
+// FindVA picks a free virtual page range in s. wantColor, when not
+// arch.NoCachePage and the align-pages feature is on, constrains the
+// first page's data-cache color so the new mapping aligns with an
+// existing or previous mapping elsewhere.
+func (sys *System) FindVA(s *Space, pages uint64, wantColor arch.CachePage) arch.VPN {
+	start := s.cursor
+	if wantColor != arch.NoCachePage && sys.feat.AlignPages {
+		n := sys.geom.DCachePages()
+		delta := (uint64(wantColor) + n - uint64(sys.geom.DColorOfVPN(start))%n) % n
+		start += arch.VPN(delta)
+	}
+	s.cursor = start + arch.VPN(pages)
+	return start
+}
+
+// MapObject maps pages of obj into s. at may be an explicit VPN or NoVPN
+// to let the system choose (passing the alignment hint wantColor).
+func (sys *System) MapObject(s *Space, obj *Object, objOff, pages uint64, at arch.VPN, wantColor arch.CachePage, maxProt arch.Prot, cow bool, kind RegionKind) (*Region, error) {
+	if at == NoVPN {
+		at = sys.FindVA(s, pages, wantColor)
+	} else if at >= s.cursor {
+		s.cursor = at + arch.VPN(pages)
+	}
+	for v := at; v < at+arch.VPN(pages); v++ {
+		if s.regionAt(v) != nil {
+			return nil, fmt.Errorf("vm: space %d vpn %#x already mapped", s.ID, uint64(v))
+		}
+	}
+	r := &Region{
+		Start: at, Pages: pages,
+		Obj: obj, ObjOff: objOff,
+		MaxProt: maxProt, COW: cow, Kind: kind,
+	}
+	if cow {
+		r.Shadow = sys.NewObject()
+	}
+	obj.refs++
+	s.insertRegion(r)
+	return r, nil
+}
+
+// Unmap removes region r from s, unmapping resident pages and freeing
+// the object's frames when the last reference drops.
+func (sys *System) Unmap(s *Space, r *Region) {
+	for v := r.Start; v < r.End(); v++ {
+		sys.pm.Remove(s.ID, v)
+	}
+	if r.Shadow != nil {
+		for _, f := range r.Shadow.pages {
+			sys.pm.FreeFrame(f)
+		}
+		r.Shadow.pages = nil
+		sys.releaseSwap(r.Shadow)
+	}
+	r.Obj.refs--
+	if r.Obj.refs == 0 {
+		for _, f := range r.Obj.pages {
+			sys.pm.FreeFrame(f)
+		}
+		r.Obj.pages = nil
+		sys.releaseSwap(r.Obj)
+	}
+	s.removeRegion(r)
+}
+
+var _ machine.FaultHandler = (*System)(nil)
+
+// MakeCOW converts an existing region to copy-on-write (the parent's
+// side of a fork): resident pages become read-only so the next write
+// takes a fault and gets a private copy.
+func (sys *System) MakeCOW(s *Space, r *Region) {
+	if r.COW {
+		return
+	}
+	r.COW = true
+	r.Shadow = sys.NewObject()
+	for v := r.Start; v < r.End(); v++ {
+		idx := r.ObjOff + uint64(v-r.Start)
+		if _, resident := r.Obj.pages[idx]; !resident {
+			continue
+		}
+		sys.pm.Downgrade(s.ID, v, arch.ProtRead)
+	}
+}

@@ -1,0 +1,327 @@
+package vm
+
+import (
+	"testing"
+
+	"vcache/internal/arch"
+	"vcache/internal/machine"
+	"vcache/internal/mem"
+	"vcache/internal/pmap"
+	"vcache/internal/policy"
+)
+
+type rig struct {
+	m   *machine.Machine
+	pm  *pmap.Pmap
+	sys *System
+	al  *mem.Allocator
+}
+
+func newRig(t *testing.T, cfg policy.Config) *rig {
+	return newRigFrames(t, cfg, 512)
+}
+
+// newRigFrames builds a rig with a specific physical memory size.
+func newRigFrames(t *testing.T, cfg policy.Config, frames int) *rig {
+	t.Helper()
+	mc := machine.DefaultConfig()
+	mc.Frames = frames
+	m, err := machine.New(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := mem.NewAllocator(mc.Geometry, mc.Frames, 8, mem.SingleList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := pmap.New(m, al, cfg.Features)
+	sys := New(pm, mc.Geometry)
+	m.SetFaultHandler(sys)
+	return &rig{m: m, pm: pm, sys: sys, al: al}
+}
+
+func (r *rig) write(t *testing.T, s *Space, vpn arch.VPN, word, v uint64) {
+	t.Helper()
+	if err := r.m.Write(s.ID, r.m.Geom.PageBase(vpn)+arch.VA(word*arch.WordSize), v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *rig) read(t *testing.T, s *Space, vpn arch.VPN, word uint64) uint64 {
+	t.Helper()
+	v, err := r.m.Read(s.ID, r.m.Geom.PageBase(vpn)+arch.VA(word*arch.WordSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func (r *rig) check(t *testing.T) {
+	t.Helper()
+	if v := r.m.Oracle.Violations(); len(v) != 0 {
+		t.Fatalf("stale transfer: %v", v[0])
+	}
+}
+
+func TestZeroFillFault(t *testing.T) {
+	r := newRig(t, policy.New())
+	s := r.sys.CreateSpace()
+	obj := r.sys.NewObject()
+	reg, err := r.sys.MapObject(s, obj, 0, 4, 0x100, arch.NoCachePage, arch.ProtReadWrite, false, KindAnon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.read(t, s, reg.Start, 5); got != 0 {
+		t.Fatalf("zero-fill page read %d", got)
+	}
+	if r.sys.Stats().ZeroFillFaults != 1 {
+		t.Errorf("ZeroFillFaults = %d", r.sys.Stats().ZeroFillFaults)
+	}
+	r.write(t, s, reg.Start, 5, 99)
+	if got := r.read(t, s, reg.Start, 5); got != 99 {
+		t.Fatalf("read back %d", got)
+	}
+	if obj.Resident() != 1 {
+		t.Errorf("Resident = %d", obj.Resident())
+	}
+	r.check(t)
+}
+
+func TestSegfaultAndReadOnly(t *testing.T) {
+	r := newRig(t, policy.New())
+	s := r.sys.CreateSpace()
+	if err := r.m.Write(s.ID, 0xDEAD000, 1); err == nil {
+		t.Error("write to unmapped region succeeded")
+	}
+	obj := r.sys.NewObject()
+	reg, _ := r.sys.MapObject(s, obj, 0, 1, 0x100, arch.NoCachePage, arch.ProtRead, false, KindAnon)
+	r.read(t, s, reg.Start, 0) // faults in the zero page
+	if err := r.m.Write(s.ID, r.m.Geom.PageBase(reg.Start), 1); err == nil {
+		t.Error("write to read-only region succeeded")
+	}
+}
+
+func TestRegionOverlapRejected(t *testing.T) {
+	r := newRig(t, policy.New())
+	s := r.sys.CreateSpace()
+	obj := r.sys.NewObject()
+	if _, err := r.sys.MapObject(s, obj, 0, 4, 0x100, arch.NoCachePage, arch.ProtReadWrite, false, KindAnon); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.sys.MapObject(s, obj, 0, 1, 0x102, arch.NoCachePage, arch.ProtReadWrite, false, KindAnon); err == nil {
+		t.Error("overlapping region accepted")
+	}
+}
+
+func TestFindVAAlignment(t *testing.T) {
+	r := newRig(t, policy.New()) // AlignPages on
+	s := r.sys.CreateSpace()
+	vpn := r.sys.FindVA(s, 1, 37)
+	if r.m.Geom.DColorOfVPN(vpn) != 37 {
+		t.Errorf("FindVA color = %d, want 37", r.m.Geom.DColorOfVPN(vpn))
+	}
+	// Without the feature the hint is ignored.
+	r2 := newRig(t, policy.ConfigB())
+	s2 := r2.sys.CreateSpace()
+	v1 := r2.sys.FindVA(s2, 1, 37)
+	v2 := r2.sys.FindVA(s2, 1, 12)
+	if v2 != v1+1 {
+		t.Errorf("first-fit cursor skipped: %#x then %#x", uint64(v1), uint64(v2))
+	}
+}
+
+func TestCOWSharingAndCopy(t *testing.T) {
+	r := newRig(t, policy.New())
+	parent := r.sys.CreateSpace()
+	child := r.sys.CreateSpace()
+	obj := r.sys.NewObject()
+	pReg, _ := r.sys.MapObject(parent, obj, 0, 2, 0x100, arch.NoCachePage, arch.ProtReadWrite, false, KindAnon)
+	r.write(t, parent, pReg.Start, 0, 11)
+	cReg, err := r.sys.MapObject(child, obj, 0, 2, 0x100, arch.NoCachePage, arch.ProtReadWrite, true, KindAnon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Child reads the shared page — no copy yet.
+	if got := r.read(t, child, cReg.Start, 0); got != 11 {
+		t.Fatalf("child read %d", got)
+	}
+	if r.sys.Stats().COWCopies != 0 {
+		t.Error("read triggered a COW copy")
+	}
+	// Child writes — private copy appears; parent unaffected.
+	r.write(t, child, cReg.Start, 0, 22)
+	if r.sys.Stats().COWCopies != 1 {
+		t.Errorf("COWCopies = %d", r.sys.Stats().COWCopies)
+	}
+	if got := r.read(t, child, cReg.Start, 0); got != 22 {
+		t.Fatalf("child read after COW %d", got)
+	}
+	if got := r.read(t, parent, pReg.Start, 0); got != 11 {
+		t.Fatalf("parent sees child's write: %d", got)
+	}
+	// Parent's later writes are invisible to the child's copied page.
+	r.write(t, parent, pReg.Start, 0, 33)
+	if got := r.read(t, child, cReg.Start, 0); got != 22 {
+		t.Fatalf("child sees parent's post-copy write: %d", got)
+	}
+	// An absent COW page written first: zero-filled private.
+	r.write(t, child, cReg.Start+1, 0, 44)
+	if got := r.read(t, child, cReg.Start+1, 0); got != 44 {
+		t.Fatalf("absent COW write read back %d", got)
+	}
+	r.check(t)
+}
+
+func TestTransferPageMove(t *testing.T) {
+	r := newRig(t, policy.New())
+	a := r.sys.CreateSpace()
+	b := r.sys.CreateSpace()
+	obj := r.sys.NewObject()
+	reg, _ := r.sys.MapObject(a, obj, 0, 1, 0x100, arch.NoCachePage, arch.ProtReadWrite, false, KindAnon)
+	r.write(t, a, reg.Start, 0, 77)
+
+	free := r.al.Free()
+	toVPN, err := r.sys.TransferPage(a, reg.Start, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.al.Free() != free {
+		t.Error("sole-owner transfer should move, not copy")
+	}
+	// Aligned destination under the align-pages policy.
+	if r.m.Geom.DColorOfVPN(toVPN) != r.m.Geom.DColorOfVPN(reg.Start) {
+		t.Error("transfer destination not aligned with source")
+	}
+	if got := r.read(t, b, toVPN, 0); got != 77 {
+		t.Fatalf("receiver read %d", got)
+	}
+	if r.sys.Stats().PageTransfers != 1 || r.sys.Stats().AlignedTransfers != 1 {
+		t.Errorf("stats = %+v", r.sys.Stats())
+	}
+	r.check(t)
+}
+
+func TestTransferPageCopiesWhenShared(t *testing.T) {
+	r := newRig(t, policy.New())
+	a := r.sys.CreateSpace()
+	b := r.sys.CreateSpace()
+	c := r.sys.CreateSpace()
+	obj := r.sys.NewObject()
+	aReg, _ := r.sys.MapObject(a, obj, 0, 1, 0x100, arch.NoCachePage, arch.ProtReadWrite, false, KindAnon)
+	r.write(t, a, aReg.Start, 0, 5)
+	// A COW sibling keeps a reference to the object.
+	cReg, _ := r.sys.MapObject(c, obj, 0, 1, 0x100, arch.NoCachePage, arch.ProtReadWrite, true, KindAnon)
+
+	toVPN, err := r.sys.TransferPage(a, aReg.Start, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sibling still reads the original page.
+	if got := r.read(t, c, cReg.Start, 0); got != 5 {
+		t.Fatalf("sibling read %d after transfer", got)
+	}
+	// The receiver got a private copy it can mutate freely.
+	r.write(t, b, toVPN, 0, 6)
+	if got := r.read(t, c, cReg.Start, 0); got != 5 {
+		t.Fatalf("receiver write leaked to sibling: %d", got)
+	}
+	r.check(t)
+}
+
+func TestTransferErrors(t *testing.T) {
+	r := newRig(t, policy.New())
+	a := r.sys.CreateSpace()
+	b := r.sys.CreateSpace()
+	if _, err := r.sys.TransferPage(a, 0x999, b); err == nil {
+		t.Error("transfer of unmapped page accepted")
+	}
+	obj := r.sys.NewObject()
+	reg, _ := r.sys.MapObject(a, obj, 0, 1, 0x100, arch.NoCachePage, arch.ProtReadWrite, false, KindAnon)
+	if _, err := r.sys.TransferPage(a, reg.Start, b); err == nil {
+		t.Error("transfer of non-resident page accepted")
+	}
+}
+
+func TestMapSharedPairAlignment(t *testing.T) {
+	// Kernel-chosen addresses align; caller-fixed ones land exactly
+	// where demanded.
+	r := newRig(t, policy.New())
+	a, b := r.sys.CreateSpace(), r.sys.CreateSpace()
+	ra, rb, err := r.sys.MapSharedPair(a, b, 1, NoVPN, NoVPN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.m.Geom.DColorOfVPN(ra.Start) != r.m.Geom.DColorOfVPN(rb.Start) {
+		t.Error("kernel-chosen shared pair does not align")
+	}
+	r2 := newRig(t, policy.ConfigB())
+	a2, b2 := r2.sys.CreateSpace(), r2.sys.CreateSpace()
+	ra2, rb2, err := r2.sys.MapSharedPair(a2, b2, 1, 0x0400, 0x0223)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra2.Start != 0x0400 || rb2.Start != 0x0223 {
+		t.Error("fixed addresses not honored")
+	}
+	// The shared data is coherent either way.
+	r2.write(t, a2, ra2.Start, 0, 1)
+	if got := r2.read(t, b2, rb2.Start, 0); got != 1 {
+		t.Fatalf("shared read %d", got)
+	}
+	r2.check(t)
+}
+
+func TestUnmapFreesFrames(t *testing.T) {
+	r := newRig(t, policy.New())
+	s := r.sys.CreateSpace()
+	obj := r.sys.NewObject()
+	reg, _ := r.sys.MapObject(s, obj, 0, 4, 0x100, arch.NoCachePage, arch.ProtReadWrite, false, KindAnon)
+	for i := arch.VPN(0); i < 4; i++ {
+		r.write(t, s, reg.Start+i, 0, uint64(i))
+	}
+	free := r.al.Free()
+	r.sys.Unmap(s, reg)
+	if r.al.Free() != free+4 {
+		t.Errorf("Unmap freed %d frames, want 4", r.al.Free()-free)
+	}
+	if s.regionAt(reg.Start) != nil {
+		t.Error("region still present")
+	}
+}
+
+func TestDestroySpaceReleasesEverything(t *testing.T) {
+	r := newRig(t, policy.New())
+	s := r.sys.CreateSpace()
+	obj := r.sys.NewObject()
+	reg, _ := r.sys.MapObject(s, obj, 0, 3, 0x100, arch.NoCachePage, arch.ProtReadWrite, false, KindAnon)
+	for i := arch.VPN(0); i < 3; i++ {
+		r.write(t, s, reg.Start+i, 0, 1)
+	}
+	free := r.al.Free()
+	r.sys.DestroySpace(s)
+	if r.al.Free() != free+3 {
+		t.Errorf("DestroySpace freed %d frames, want 3", r.al.Free()-free)
+	}
+	if _, ok := r.sys.Space(s.ID); ok {
+		t.Error("space still registered")
+	}
+}
+
+func TestSharedObjectFreedOnlyOnLastUnmap(t *testing.T) {
+	r := newRig(t, policy.New())
+	a, b := r.sys.CreateSpace(), r.sys.CreateSpace()
+	ra, rb, _ := r.sys.MapSharedPair(a, b, 1, NoVPN, NoVPN)
+	r.write(t, a, ra.Start, 0, 9)
+	free := r.al.Free()
+	r.sys.Unmap(a, ra)
+	if r.al.Free() != free {
+		t.Error("frame freed while still mapped elsewhere")
+	}
+	if got := r.read(t, b, rb.Start, 0); got != 9 {
+		t.Fatalf("surviving mapping read %d", got)
+	}
+	r.sys.Unmap(b, rb)
+	if r.al.Free() != free+1 {
+		t.Error("frame not freed on last unmap")
+	}
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"fmt"
+
+	"vcache/internal/kernel"
+)
+
+// AFSBench models the Andrew File System benchmark the paper runs: a
+// file-intensive shell script with five phases — make a source tree,
+// copy it, scan it (stat every file), read every file, and compile it.
+// One shell process drives everything; compiles spawn short-lived child
+// processes. All file reads after the tree is built hit the buffer
+// cache, so (as in the paper) the benchmark performs no disk reads, only
+// write-behind disk writes.
+func AFSBench() Workload {
+	const (
+		baseFiles    = 50
+		pagesPerFile = 2
+		ccTextPages  = 4
+		compileBatch = 10
+	)
+	return Workload{
+		Name: "afs-bench",
+		Setup: func(k *kernel.Kernel, s Scale) error {
+			// Compiler image used by the compile phase.
+			cc, err := k.FS.Create("bin/cc")
+			if err != nil {
+				return err
+			}
+			if err := k.WriteFileContent(cc, ccTextPages); err != nil {
+				return err
+			}
+			return k.FS.Sync()
+		},
+		Run: func(k *kernel.Kernel, s Scale) error {
+			files := s.n(baseFiles)
+			shell, err := k.Spawn(nil, 0, 16)
+			if err != nil {
+				return err
+			}
+			defer k.Exit(shell)
+
+			// Phase 1: MakeDir — create the tree and write content.
+			for i := 0; i < files; i++ {
+				f, err := k.CreateFile(shell, fmt.Sprintf("src/f%03d", i))
+				if err != nil {
+					return err
+				}
+				for pg := uint64(0); pg < pagesPerFile; pg++ {
+					if err := k.TouchHeap(shell, pg%8, 512); err != nil {
+						return err
+					}
+					if err := k.WriteFilePage(shell, f, pg, pg%8); err != nil {
+						return err
+					}
+				}
+				k.Compute(2000)
+			}
+
+			// Phase 2: Copy — read every file, write a duplicate.
+			for i := 0; i < files; i++ {
+				src, err := k.OpenFile(shell, fmt.Sprintf("src/f%03d", i))
+				if err != nil {
+					return err
+				}
+				dst, err := k.CreateFile(shell, fmt.Sprintf("copy/f%03d", i))
+				if err != nil {
+					return err
+				}
+				for pg := uint64(0); pg < pagesPerFile; pg++ {
+					if err := k.ReadFilePage(shell, src, pg, 8+pg%4); err != nil {
+						return err
+					}
+					if err := k.WriteFilePage(shell, dst, pg, 8+pg%4); err != nil {
+						return err
+					}
+				}
+				k.Compute(1500)
+			}
+
+			// Phase 3: ScanDir — stat-like syscalls over the tree.
+			for pass := 0; pass < 3; pass++ {
+				for i := 0; i < files; i++ {
+					if err := k.Syscall(shell); err != nil {
+						return err
+					}
+				}
+				k.Compute(5000)
+			}
+
+			// Phase 4: ReadAll — read every file twice.
+			for pass := 0; pass < 2; pass++ {
+				for i := 0; i < files; i++ {
+					f, err := k.OpenFile(shell, fmt.Sprintf("src/f%03d", i))
+					if err != nil {
+						return err
+					}
+					for pg := uint64(0); pg < pagesPerFile; pg++ {
+						if err := k.ReadFilePage(shell, f, pg, 12+pg%4); err != nil {
+							return err
+						}
+						if err := k.ReadHeap(shell, 12+pg%4, 128); err != nil {
+							return err
+						}
+					}
+				}
+				k.Compute(8000)
+			}
+
+			// Phase 5: Make — compile the tree in batches of child
+			// processes.
+			cc, err := k.OpenFile(shell, "bin/cc")
+			if err != nil {
+				return err
+			}
+			batch := s.n(compileBatch)
+			for i := 0; i < batch; i++ {
+				child, err := k.Spawn(cc, ccTextPages, 8)
+				if err != nil {
+					return err
+				}
+				if err := k.RunText(child, 64); err != nil {
+					return err
+				}
+				// Each "compile" reads a slice of the tree and
+				// writes an object file.
+				for j := 0; j < files/batch+1; j++ {
+					idx := (i*files/batch + j) % files
+					f, err := k.OpenFile(child, fmt.Sprintf("src/f%03d", idx))
+					if err != nil {
+						return err
+					}
+					if err := k.ReadFilePage(child, f, 0, uint64(j%4)); err != nil {
+						return err
+					}
+					if err := k.ReadHeap(child, uint64(j%4), 256); err != nil {
+						return err
+					}
+				}
+				obj, err := k.CreateFile(child, fmt.Sprintf("obj/o%03d", i))
+				if err != nil {
+					return err
+				}
+				if err := k.TouchHeap(child, 5, 512); err != nil {
+					return err
+				}
+				if err := k.WriteFilePage(child, obj, 0, 5); err != nil {
+					return err
+				}
+				k.Compute(30000)
+				k.Exit(child)
+			}
+			return k.FS.Sync()
+		},
+	}
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+
+	"vcache/internal/kernel"
+)
+
+// LatexPaper models formatting this paper with TeX: one long-lived,
+// CPU-bound process that reads a handful of input files (source,
+// macros, fonts), churns over a heap working set for a long time, and
+// writes a device-independent output file. Two passes resolve
+// references, as TeX does. Kernel interaction is modest — the point the
+// paper makes with it is that even a compute-bound Unix program picks up
+// measurable cache-management overhead through its syscalls and the
+// server's shared pages.
+func LatexPaper() Workload {
+	const (
+		srcPages     = 6
+		macroPages   = 4
+		fontFiles    = 4
+		workingPages = 12
+		baseChunks   = 60
+	)
+	return Workload{
+		Name: "latex-paper",
+		Setup: func(k *kernel.Kernel, s Scale) error {
+			for _, f := range []struct {
+				name  string
+				pages uint64
+			}{
+				{"paper.tex", srcPages},
+				{"macros.sty", macroPages},
+			} {
+				file, err := k.FS.Create(f.name)
+				if err != nil {
+					return err
+				}
+				if err := k.WriteFileContent(file, f.pages); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < fontFiles; i++ {
+				file, err := k.FS.Create(fmt.Sprintf("fonts/f%d.tfm", i))
+				if err != nil {
+					return err
+				}
+				if err := k.WriteFileContent(file, 1); err != nil {
+					return err
+				}
+			}
+			return k.FS.Sync()
+		},
+		Run: func(k *kernel.Kernel, s Scale) error {
+			tex, err := k.Spawn(nil, 0, 24)
+			if err != nil {
+				return err
+			}
+			defer k.Exit(tex)
+
+			chunks := s.n(baseChunks)
+			for pass := 0; pass < 2; pass++ {
+				// Load inputs.
+				src, err := k.OpenFile(tex, "paper.tex")
+				if err != nil {
+					return err
+				}
+				macros, err := k.OpenFile(tex, "macros.sty")
+				if err != nil {
+					return err
+				}
+				for pg := uint64(0); pg < macroPages; pg++ {
+					if err := k.ReadFilePage(tex, macros, pg, pg); err != nil {
+						return err
+					}
+				}
+				for i := 0; i < fontFiles; i++ {
+					f, err := k.OpenFile(tex, fmt.Sprintf("fonts/f%d.tfm", i))
+					if err != nil {
+						return err
+					}
+					if err := k.ReadFilePage(tex, f, 0, uint64(4+i)); err != nil {
+						return err
+					}
+				}
+
+				out, err := k.CreateFile(tex, fmt.Sprintf("paper.dvi.%d", pass))
+				if err != nil {
+					return err
+				}
+
+				// Format: read source incrementally, grind over the
+				// working set, emit output pages.
+				for c := 0; c < chunks; c++ {
+					if err := k.ReadFilePage(tex, src, uint64(c)%srcPages, 8); err != nil {
+						return err
+					}
+					// TeX stats cross-reference and font files as it
+					// goes.
+					if err := k.Syscall(tex); err != nil {
+						return err
+					}
+					if err := k.Syscall(tex); err != nil {
+						return err
+					}
+					// The formatter's hot loop: repeated reads and
+					// writes over a recurring heap working set.
+					for w := 0; w < 4; w++ {
+						pg := uint64(9 + (c+w)%workingPages)
+						if err := k.ReadHeap(tex, pg, 256); err != nil {
+							return err
+						}
+						if err := k.TouchHeap(tex, pg, 128); err != nil {
+							return err
+						}
+					}
+					k.Compute(120000) // typesetting is CPU-bound
+					if c%4 == 3 {
+						if err := k.WriteFilePage(tex, out, uint64(c/4), 8); err != nil {
+							return err
+						}
+					}
+				}
+				k.Compute(250000)
+			}
+			return k.FS.Sync()
+		},
+	}
+}

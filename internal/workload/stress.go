@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"fmt"
+
+	"vcache/internal/fs"
+	"vcache/internal/kernel"
+	"vcache/internal/sim"
+)
+
+// Stress is a randomized torture workload used by the correctness tests:
+// it interleaves every kernel operation — process churn, heap traffic,
+// fork/COW, file I/O with DMA, IPC transfers, server transactions — and
+// relies on the oracle to flag any stale transfer. A given seed is fully
+// deterministic.
+func Stress(seed uint64, steps int) Workload {
+	return Workload{
+		Name: fmt.Sprintf("stress-%d", seed),
+		Setup: func(k *kernel.Kernel, s Scale) error {
+			img, err := k.FS.Create("bin/stress")
+			if err != nil {
+				return err
+			}
+			if err := k.WriteFileContent(img, 4); err != nil {
+				return err
+			}
+			return k.FS.Sync()
+		},
+		Run: func(k *kernel.Kernel, s Scale) error {
+			return runStress(k, seed, s.n(steps))
+		},
+	}
+}
+
+type stressState struct {
+	k     *kernel.Kernel
+	rng   *sim.Rand
+	procs []*kernel.Process
+	files []*fs.File
+	img   *fs.File
+	nfile int
+}
+
+func runStress(k *kernel.Kernel, seed uint64, steps int) error {
+	img, err := k.FS.Open("bin/stress")
+	if err != nil {
+		return err
+	}
+	st := &stressState{k: k, rng: sim.NewRand(seed), img: img}
+
+	// Start with two processes.
+	for i := 0; i < 2; i++ {
+		if err := st.spawn(); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < steps; i++ {
+		if err := st.step(i); err != nil {
+			return fmt.Errorf("stress step %d: %w", i, err)
+		}
+	}
+	for _, p := range st.procs {
+		k.Exit(p)
+	}
+	return k.FS.Sync()
+}
+
+func (st *stressState) spawn() error {
+	var img *fs.File
+	if st.rng.Bool(0.5) {
+		img = st.img
+	}
+	p, err := st.k.Spawn(img, 4, 16)
+	if err != nil {
+		return err
+	}
+	st.procs = append(st.procs, p)
+	return nil
+}
+
+func (st *stressState) pick() *kernel.Process {
+	return st.procs[st.rng.Intn(len(st.procs))]
+}
+
+func (st *stressState) step(i int) error {
+	k, rng := st.k, st.rng
+	switch op := rng.Intn(100); {
+	case op < 25: // heap write
+		return k.TouchHeap(st.pick(), uint64(rng.Intn(16)), 32)
+	case op < 45: // heap read
+		return k.ReadHeap(st.pick(), uint64(rng.Intn(16)), 32)
+	case op < 52: // create + write file
+		p := st.pick()
+		f, err := k.CreateFile(p, fmt.Sprintf("f%05d", st.nfile))
+		if err != nil {
+			return err
+		}
+		st.nfile++
+		st.files = append(st.files, f)
+		if err := k.TouchHeap(p, 1, 128); err != nil {
+			return err
+		}
+		return k.WriteFilePage(p, f, uint64(rng.Intn(2)), 1)
+	case op < 64: // read a file
+		if len(st.files) == 0 {
+			return nil
+		}
+		f := st.files[rng.Intn(len(st.files))]
+		p := st.pick()
+		if err := k.ReadFilePage(p, f, uint64(rng.Intn(int(f.Pages()))), uint64(2+rng.Intn(4))); err != nil {
+			return err
+		}
+		return k.ReadHeap(p, uint64(2+rng.Intn(4)), 64)
+	case op < 70: // overwrite a file page
+		if len(st.files) == 0 {
+			return nil
+		}
+		f := st.files[rng.Intn(len(st.files))]
+		p := st.pick()
+		if err := k.TouchHeap(p, 3, 64); err != nil {
+			return err
+		}
+		return k.WriteFilePage(p, f, uint64(rng.Intn(int(f.Pages())+1)), 3)
+	case op < 78: // IPC page transfer
+		from, to := st.pick(), st.pick()
+		if from == to {
+			return nil
+		}
+		pg := uint64(rng.Intn(16))
+		if err := k.TouchHeap(from, pg, 64); err != nil {
+			return err
+		}
+		vpn, err := k.SendHeapPage(from, pg, to)
+		if err != nil {
+			return err
+		}
+		if err := k.ReadPage(to, vpn, 32); err != nil {
+			return err
+		}
+		return k.WritePage(to, vpn, 16)
+	case op < 84: // server transaction
+		return k.Syscall(st.pick())
+	case op < 86: // run text (d→i copies on first touch)
+		p := st.pick()
+		if !p.HasText() {
+			return nil
+		}
+		return k.RunText(p, 8)
+	case op < 88: // map a file read-only and read through the mapping
+		if len(st.files) == 0 {
+			return nil
+		}
+		f := st.files[rng.Intn(len(st.files))]
+		if f.Pages() == 0 {
+			return nil
+		}
+		p := st.pick()
+		vpn, _, err := k.MapFile(p, f, nil, 0)
+		if err != nil {
+			return err
+		}
+		return k.ReadPage(p, vpn, 16)
+	case op < 93: // fork, child writes COW pages, exits later
+		if len(st.procs) >= 8 {
+			return nil
+		}
+		parent := st.pick()
+		child, err := k.Fork(parent)
+		if err != nil {
+			return err
+		}
+		st.procs = append(st.procs, child)
+		if err := k.ReadHeap(child, 0, 16); err != nil {
+			return err
+		}
+		return k.TouchHeap(child, uint64(rng.Intn(4)), 32)
+	case op < 97: // exit a process (frames recycle)
+		if len(st.procs) <= 1 {
+			return nil
+		}
+		idx := rng.Intn(len(st.procs))
+		k.Exit(st.procs[idx])
+		st.procs = append(st.procs[:idx], st.procs[idx+1:]...)
+		if len(st.procs) < 2 {
+			return st.spawn()
+		}
+		return nil
+	default: // spawn a fresh process
+		if len(st.procs) >= 8 {
+			return nil
+		}
+		return st.spawn()
+	}
+}

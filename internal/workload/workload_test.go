@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"testing"
+
+	"vcache/internal/policy"
+)
+
+// TestBenchmarksAllConfigs runs each paper benchmark at small scale
+// under every lettered configuration, asserting correctness (no stale
+// transfers) and the paper's headline relations: the new system (F) is
+// no slower than the old one (A), and flush+purge work never increases
+// as optimizations accumulate in the direction each optimization
+// targets.
+func TestBenchmarksAllConfigs(t *testing.T) {
+	for _, w := range Benchmarks() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			var results []Result
+			for _, cfg := range policy.Configs() {
+				r, err := RunDefault(w, cfg, Small())
+				if err != nil {
+					t.Fatalf("%s under %s: %v", w.Name, cfg.Label, err)
+				}
+				if r.OracleViolations != 0 {
+					t.Fatalf("%s under %s: %d stale transfers", w.Name, cfg.Label, r.OracleViolations)
+				}
+				if r.OracleChecks == 0 {
+					t.Fatalf("%s under %s: oracle not exercised", w.Name, cfg.Label)
+				}
+				results = append(results, r)
+			}
+			a, f := results[0], results[len(results)-1]
+			if f.Seconds > a.Seconds*1.02 {
+				t.Errorf("config F (%.4fs) slower than config A (%.4fs)", f.Seconds, a.Seconds)
+			}
+			if f.PM.DFlushPages > a.PM.DFlushPages {
+				t.Errorf("config F flushes (%d) exceed config A (%d)", f.PM.DFlushPages, a.PM.DFlushPages)
+			}
+			// Mapping faults are an architecture-independent cost: they
+			// should be roughly constant across configurations.
+			for _, r := range results {
+				lo, hi := a.PM.MappingFaults*9/10, a.PM.MappingFaults*11/10
+				if r.PM.MappingFaults < lo || r.PM.MappingFaults > hi {
+					t.Errorf("config %s mapping faults %d deviate from A's %d",
+						r.Config.Label, r.PM.MappingFaults, a.PM.MappingFaults)
+				}
+			}
+		})
+	}
+}
+
+// TestStressAllConfigs tortures every configuration and Table 5 system
+// with randomized operation sequences; the oracle proves no stale data
+// is ever delivered to the CPU, the instruction stream, or a device.
+func TestStressAllConfigs(t *testing.T) {
+	configs := append(policy.Configs(), policy.Table5Systems()...)
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.Label, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				w := Stress(seed, 400)
+				r, err := RunDefault(w, cfg, Full())
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if r.OracleViolations != 0 {
+					t.Fatalf("seed %d: %d stale transfers", seed, r.OracleViolations)
+				}
+			}
+		})
+	}
+}
+
+// TestAliasMicro verifies the Section 2.5 microbenchmark shape: aligned
+// aliases run orders of magnitude faster than unaligned ones, and both
+// stay correct.
+func TestAliasMicro(t *testing.T) {
+	const writes = 20000
+	aligned, err := RunAliasMicro(policy.New(), writes, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unaligned, err := RunAliasMicro(policy.New(), writes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := unaligned.Seconds / aligned.Seconds; ratio < 50 {
+		t.Errorf("unaligned/aligned ratio %.1f, want >= 50 (paper: fraction of a second vs >2 minutes)", ratio)
+	}
+	if aligned.DFlushes+aligned.DPurges > 4 {
+		t.Errorf("aligned loop performed %d flushes and %d purges, want ~0",
+			aligned.DFlushes, aligned.DPurges)
+	}
+	if unaligned.DFlushes == 0 && unaligned.DPurges == 0 {
+		t.Error("unaligned loop performed no cache management — engine not engaged")
+	}
+}
