@@ -16,9 +16,12 @@
 package vcache
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"vcache/internal/cache"
+	"vcache/internal/harness"
 	"vcache/internal/kernel"
 	"vcache/internal/policy"
 	"vcache/internal/sim"
@@ -29,18 +32,18 @@ import (
 // preserving every effect (frame recycling still occurs at this scale).
 var benchScale = workload.Scale{Name: "bench", Factor: 0.3}
 
-// runWorkload runs w under cfg once per iteration and reports the
-// simulated metrics of the last run.
+// runWorkload runs w under cfg once per iteration (one harness Spec per
+// run) and reports the simulated metrics of the last run.
 func runWorkload(b *testing.B, w workload.Workload, cfg policy.Config, kcfg kernel.Config) workload.Result {
 	b.Helper()
 	var last workload.Result
 	for i := 0; i < b.N; i++ {
-		r, err := workload.Run(w, cfg, benchScale, kcfg)
+		r, _, err := harness.Exec(harness.Spec{Workload: w, Config: cfg, Scale: benchScale, Kernel: &kcfg})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if r.OracleViolations != 0 {
-			b.Fatalf("%d stale transfers under %s", r.OracleViolations, cfg.Label)
+		if err := r.CheckClean(); err != nil {
+			b.Fatal(err)
 		}
 		last = r
 	}
@@ -49,6 +52,31 @@ func runWorkload(b *testing.B, w workload.Workload, cfg policy.Config, kcfg kern
 	b.ReportMetric(float64(last.PM.DPurgePages+last.PM.IPurgePages), "purges/op")
 	b.ReportMetric(float64(last.PM.ConsistencyFaults), "consfaults/op")
 	return last
+}
+
+// BenchmarkMatrixFanout measures the harness itself: the full Table 4
+// plan (3 benchmarks × 6 configurations) submitted serially (j1) and
+// with full fan-out (jN for N = GOMAXPROCS). On a multicore machine the
+// jN case should approach linear speedup; wall-clock ns/op is the
+// metric of interest.
+func BenchmarkMatrixFanout(b *testing.B) {
+	scale := workload.Scale{Name: "bench", Factor: 0.15}
+	plan := harness.Matrix(workload.Benchmarks(), policy.Configs(), scale)
+	widths := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		widths = append(widths, n)
+	}
+	for _, workers := range widths {
+		workers := workers
+		b.Run(fmt.Sprintf("j%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.Results(harness.Run(plan, workers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(plan)), "runs/op")
+		})
+	}
 }
 
 func defaultKC(cfg policy.Config) kernel.Config { return kernel.DefaultConfig(cfg) }

@@ -3,6 +3,11 @@
 // comparison), the Section 2.5 alias microbenchmark, and the Section 5.1
 // overhead analysis.
 //
+// Every artifact is built as a declarative harness.Plan of independent
+// simulations and submitted to a worker pool, so the full evaluation
+// matrix fans out across cores (-j). Results come back in plan order,
+// making the output byte-identical to a serial (-j 1) run.
+//
 // Usage:
 //
 //	tables               # everything
@@ -11,6 +16,8 @@
 //	tables -analysis     # just the Section 5.1 analysis
 //	tables -sweep        # the parameter sweeps (memory size, purge cost)
 //	tables -scale 0.3    # scale the workloads down for a quick look
+//	tables -j 8          # run up to 8 simulations in parallel
+//	tables -v            # log per-run progress to stderr
 package main
 
 import (
@@ -18,7 +25,7 @@ import (
 	"fmt"
 	"log"
 
-	"vcache/internal/kernel"
+	"vcache/internal/harness"
 	"vcache/internal/policy"
 	"vcache/internal/report"
 	"vcache/internal/sim"
@@ -34,27 +41,41 @@ func main() {
 	sweep := flag.Bool("sweep", false, "print only the parameter sweeps (memory size, purge cost)")
 	factor := flag.Float64("scale", 1.0, "workload scale factor (1.0 = full)")
 	writes := flag.Int("writes", 200000, "alias microbenchmark write count")
+	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "log per-run progress to stderr")
 	flag.Parse()
 
 	scale := workload.Scale{Name: "custom", Factor: *factor}
 	all := !*micro && !*analysis && !*sweep && *table == 0
 
+	runner := &harness.Runner{Workers: *jobs}
+	if *verbose {
+		runner.OnStart = func(i int, s harness.Spec) { log.Printf("run %d: %s ...", i, s.Label()) }
+		runner.OnDone = func(o harness.Outcome) {
+			if o.Err != nil {
+				log.Printf("run %d: %s FAILED: %v", o.Index, o.Spec.Label(), o.Err)
+				return
+			}
+			log.Printf("run %d: %s done (%.3f sim-sec)", o.Index, o.Spec.Label(), o.Result.Seconds)
+		}
+	}
+
 	if *sweep {
-		fmt.Print(sweepMemory(scale))
+		fmt.Print(must(report.RunMemorySweep(runner, scale)))
 		fmt.Println()
-		fmt.Print(sweepPurgeCost(scale))
+		fmt.Print(must(report.RunPurgeCostSweep(runner, scale)))
 		return
 	}
 
 	if all || *table == 1 {
-		fmt.Print(table1(scale))
+		fmt.Print(table1(runner, scale))
 		fmt.Println()
 	}
 	if all || *table == 4 {
-		fmt.Print(table4(scale))
+		fmt.Print(table4(runner, scale))
 	}
 	if all || *table == 5 {
-		fmt.Print(table5())
+		fmt.Print(table5(runner))
 		fmt.Println()
 	}
 	if all || *micro {
@@ -62,57 +83,44 @@ func main() {
 		fmt.Println()
 	}
 	if all || *analysis {
-		fmt.Print(analysis51(scale))
+		fmt.Print(analysis51(runner, scale))
 	}
 }
 
-func table1(scale workload.Scale) string {
+func table1(r *harness.Runner, scale workload.Scale) string {
+	plan := harness.Matrix(workload.Benchmarks(), []policy.Config{policy.Old(), policy.New()}, scale)
+	results := mustResults(r.Run(plan))
 	var pairs [][2]workload.Result
-	for _, w := range workload.Benchmarks() {
-		old, err := workload.RunDefault(w, policy.Old(), scale)
-		if err != nil {
-			log.Fatal(err)
-		}
-		new_, err := workload.RunDefault(w, policy.New(), scale)
-		if err != nil {
-			log.Fatal(err)
-		}
-		mustClean(old)
-		mustClean(new_)
-		pairs = append(pairs, [2]workload.Result{old, new_})
+	for i := 0; i < len(results); i += 2 {
+		pairs = append(pairs, [2]workload.Result{results[i], results[i+1]})
 	}
 	return report.Table1(pairs)
 }
 
-func table4(scale workload.Scale) string {
+func table4(r *harness.Runner, scale workload.Scale) string {
+	benchmarks := workload.Benchmarks()
+	plan := harness.Matrix(benchmarks, policy.Configs(), scale)
+	results := mustResults(r.Run(plan))
 	var names []string
-	var results [][]workload.Result
-	for _, w := range workload.Benchmarks() {
+	var grouped [][]workload.Result
+	per := len(policy.Configs())
+	for i, w := range benchmarks {
 		names = append(names, w.Name)
-		var rows []workload.Result
-		for _, cfg := range policy.Configs() {
-			r, err := workload.RunDefault(w, cfg, scale)
-			if err != nil {
-				log.Fatal(err)
-			}
-			mustClean(r)
-			rows = append(rows, r)
-		}
-		results = append(results, rows)
+		grouped = append(grouped, results[i*per:(i+1)*per])
 	}
-	return report.Table4(names, results)
+	return report.Table4(names, grouped)
 }
 
-func table5() string {
+func table5(r *harness.Runner) string {
+	systems := policy.Table5Systems()
+	var plan harness.Plan
+	for _, cfg := range systems {
+		plan = append(plan, harness.Spec{Workload: workload.Stress(42, 1500), Config: cfg, Scale: workload.Full()})
+	}
+	results := mustResults(r.Run(plan))
 	measured := make(map[string]workload.Result)
-	for _, cfg := range policy.Table5Systems() {
-		w := workload.Stress(42, 1500)
-		r, err := workload.RunDefault(w, cfg, workload.Full())
-		if err != nil {
-			log.Fatal(err)
-		}
-		mustClean(r)
-		measured[cfg.Label] = r
+	for i, cfg := range systems {
+		measured[cfg.Label] = results[i]
 	}
 	return report.Table5(measured)
 }
@@ -129,73 +137,38 @@ func microbench(writes int) string {
 	return report.Micro(aligned, unaligned)
 }
 
-func analysis51(scale workload.Scale) string {
-	var normal, fast []workload.Result
+func analysis51(r *harness.Runner, scale workload.Scale) string {
+	// For each benchmark: one run under the HP 720 timing, one under the
+	// single-cycle-purge what-if profile.
+	fastTiming := sim.FastPurgeTiming()
+	var plan harness.Plan
 	for _, w := range workload.Benchmarks() {
-		r, err := workload.RunDefault(w, policy.New(), scale)
-		if err != nil {
-			log.Fatal(err)
-		}
-		mustClean(r)
-		normal = append(normal, r)
-
-		kcfg := kernel.DefaultConfig(policy.New())
-		kcfg.Machine.Timing = sim.FastPurgeTiming()
-		rf, err := workload.Run(w, policy.New(), scale, kcfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		mustClean(rf)
-		fast = append(fast, rf)
+		plan = append(plan,
+			harness.Spec{Workload: w, Config: policy.New(), Scale: scale},
+			harness.Spec{Workload: w, Config: policy.New(), Scale: scale, Timing: &fastTiming})
+	}
+	results := mustResults(r.Run(plan))
+	var normal, fast []workload.Result
+	for i := 0; i < len(results); i += 2 {
+		normal = append(normal, results[i])
+		fast = append(fast, results[i+1])
 	}
 	return report.Analysis(normal, fast, sim.HP720Timing().ClockHz)
 }
 
-func sweepMemory(scale workload.Scale) string {
-	var rows []report.MemorySweepRow
-	for _, frames := range []int{384, 512, 768, 1024, 1536, 2048, 4096} {
-		run := func(cfg policy.Config) workload.Result {
-			kc := kernel.DefaultConfig(cfg)
-			kc.Machine.Frames = frames
-			r, err := workload.Run(workload.KernelBuild(), cfg, scale, kc)
-			if err != nil {
-				log.Fatal(err)
-			}
-			mustClean(r)
-			return r
-		}
-		rows = append(rows, report.MemorySweepRow{
-			Frames: frames,
-			Old:    run(policy.Old()),
-			New:    run(policy.New()),
-		})
+// mustResults unpacks plan outcomes, aborting on any run error or any
+// oracle-reported consistency violation.
+func mustResults(outs []harness.Outcome) []workload.Result {
+	results, err := harness.Results(outs)
+	if err != nil {
+		log.Fatal(err)
 	}
-	return report.MemorySweep(rows)
+	return results
 }
 
-func sweepPurgeCost(scale workload.Scale) string {
-	var rows []report.PurgeCostRow
-	for _, cost := range []uint64{0, 1, 2, 4, 7, 14, 28} {
-		cfg := policy.New()
-		kc := kernel.DefaultConfig(cfg)
-		kc.Machine.Timing.LinePurgeHit = cost
-		if cost == 0 {
-			kc.Machine.Timing.LinePurgeMiss = 0
-			kc.Machine.Timing.ICachePagePurge = 1
-		}
-		r, err := workload.Run(workload.KernelBuild(), cfg, scale, kc)
-		if err != nil {
-			log.Fatal(err)
-		}
-		mustClean(r)
-		rows = append(rows, report.PurgeCostRow{LinePurgeHit: cost, Result: r})
+func must(s string, err error) string {
+	if err != nil {
+		log.Fatal(err)
 	}
-	return report.PurgeCostSweep(rows)
-}
-
-func mustClean(r workload.Result) {
-	if r.OracleViolations != 0 {
-		log.Fatalf("%s under %s: %d stale transfers observed — consistency bug",
-			r.Workload, r.Config.Label, r.OracleViolations)
-	}
+	return s
 }

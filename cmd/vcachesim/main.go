@@ -2,23 +2,29 @@
 // configuration on the simulated HP 9000/720 and prints the full
 // statistics breakdown.
 //
+// With -json the complete workload.Result is emitted as a JSON object
+// instead of the human-readable breakdown, for scripting and
+// benchmark-trajectory tracking.
+//
 // Usage:
 //
 //	vcachesim -workload kernel-build -config F
 //	vcachesim -workload afs-bench -config Sun -scale 0.5
+//	vcachesim -workload latex-paper -config F -json | jq .Seconds
 //	vcachesim -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"vcache/internal/harness"
 	"vcache/internal/kernel"
 	"vcache/internal/policy"
 	"vcache/internal/sim"
-	"vcache/internal/trace"
 	"vcache/internal/workload"
 )
 
@@ -31,6 +37,7 @@ func main() {
 	list := flag.Bool("list", false, "list workloads and configurations")
 	traceN := flag.Int("trace", 0, "print the last N consistency events of the run")
 	cpus := flag.Int("cpus", 1, "processor count (Section 3.3 multiprocessor mode)")
+	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
 	flag.Parse()
 
 	if *list {
@@ -55,14 +62,26 @@ func main() {
 	}
 	kc := kernel.DefaultConfig(cfg)
 	kc.Machine.CPUs = *cpus
-	var recorder *trace.Recorder
-	result, err := workload.RunTraced(w, cfg, workload.Scale{Name: "custom", Factor: *factor}, kc, *traceN, &recorder)
+	r, recorder, err := harness.Exec(harness.Spec{
+		Workload: w,
+		Config:   cfg,
+		Scale:    workload.Scale{Name: "custom", Factor: *factor},
+		Kernel:   &kc,
+		TraceN:   *traceN,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	r := result
-	printResult(r)
-	if *traceN > 0 && recorder != nil {
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		printResult(r)
+	}
+	if *traceN > 0 && recorder != nil && !*jsonOut {
 		fmt.Printf("\nlast %d consistency events:\n", len(recorder.Events()))
 		if err := recorder.Dump(os.Stdout); err != nil {
 			log.Fatal(err)

@@ -1,0 +1,209 @@
+// Package harness is the experiment-execution layer: it turns a
+// declarative description of one simulation run (a Spec) or a whole
+// experiment matrix (a Plan) into measured Results.
+//
+// Every measured artifact of the paper — Table 1, Table 4, Table 5, the
+// §5.1 analysis, the parameter sweeps — is a set of fully independent,
+// deterministic simulations. The harness exploits that: a Plan is
+// executed across a worker pool (see Runner), results come back in plan
+// order regardless of completion order, and a panicking or failing run
+// surfaces as a structured RunError instead of killing its siblings.
+// Because each Spec boots its own kernel.Kernel and the simulator has no
+// mutable package-level state, parallel execution is byte-identical to
+// serial execution.
+//
+// The single-run core (Exec) is what workload.Run/RunDefault/RunTraced
+// wrap; the plan layer is what cmd/tables, the sweep drivers, and the
+// test matrices submit to.
+package harness
+
+import (
+	"fmt"
+
+	"vcache/internal/core"
+	"vcache/internal/dma"
+	"vcache/internal/fs"
+	"vcache/internal/kernel"
+	"vcache/internal/machine"
+	"vcache/internal/pmap"
+	"vcache/internal/policy"
+	"vcache/internal/sim"
+	"vcache/internal/trace"
+	"vcache/internal/unixserver"
+	"vcache/internal/vm"
+)
+
+// Scale sizes a workload. Tests use small factors for speed; the tables
+// are generated at factor 1.0.
+type Scale struct {
+	Name string
+	// Factor multiplies the workload's intrinsic sizes (file counts,
+	// compile counts, loop iterations). 1.0 is full scale.
+	Factor float64
+}
+
+// N scales an intrinsic workload size, never below 1.
+func (s Scale) N(base int) int {
+	n := int(float64(base) * s.Factor)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Workload is a runnable benchmark.
+type Workload struct {
+	Name string
+	// Setup builds input state (source trees, images); it is excluded
+	// from measurement.
+	Setup func(k *kernel.Kernel, s Scale) error
+	// Run is the timed phase.
+	Run func(k *kernel.Kernel, s Scale) error
+}
+
+// Result carries everything the experiment tables report for one run.
+type Result struct {
+	Workload string
+	Config   policy.Config
+	Seconds  float64
+	Cycles   uint64
+	CyclesBy map[sim.Category]uint64
+	PM       pmap.Stats
+	Ctl      core.Stats
+	VM       vm.Stats
+	FS       fs.Stats
+	Disk     dma.Stats
+	Machine  machine.Stats
+	Server   unixserver.Stats
+	// Paging activity (the default pager).
+	PageOuts  uint64
+	SwapIns   uint64
+	TextDrops uint64
+	// OracleViolations must be zero for any correct configuration.
+	OracleViolations int
+	OracleChecks     uint64
+}
+
+// CheckClean returns an error if the oracle observed any stale transfer
+// during the run — a consistency bug in the configuration under test.
+func (r Result) CheckClean() error {
+	if r.OracleViolations != 0 {
+		return fmt.Errorf("%s under %s: %d stale transfers observed — consistency bug",
+			r.Workload, r.Config.Label, r.OracleViolations)
+	}
+	return nil
+}
+
+// Spec declares one simulation run: which benchmark, under which
+// consistency configuration, at what scale, on what machine.
+type Spec struct {
+	// Name labels the run in errors and progress hooks; empty means
+	// "<workload>/<config>".
+	Name     string
+	Workload Workload
+	Config   policy.Config
+	Scale    Scale
+	// Kernel optionally overrides the system configuration; nil means
+	// kernel.DefaultConfig(Config). The harness copies it before
+	// applying Config and Timing, so one kernel.Config value may be
+	// shared by many Specs.
+	Kernel *kernel.Config
+	// Timing optionally overrides the machine timing profile (the §5.1
+	// single-cycle-purge what-if).
+	Timing *sim.Timing
+	// TraceN, when positive, attaches a ring-buffer recorder keeping
+	// the last TraceN consistency events of the timed phase.
+	TraceN int
+}
+
+// Label returns the run's display name.
+func (s Spec) Label() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return s.Workload.Name + "/" + s.Config.Label
+}
+
+// kernelConfig resolves the effective system configuration.
+func (s Spec) kernelConfig() kernel.Config {
+	var kc kernel.Config
+	if s.Kernel != nil {
+		kc = *s.Kernel
+	} else {
+		kc = kernel.DefaultConfig(s.Config)
+	}
+	kc.Policy = s.Config
+	if s.Timing != nil {
+		kc.Machine.Timing = *s.Timing
+	}
+	return kc
+}
+
+// Exec performs one run: boot a fresh system, perform setup, reset every
+// counter, run the timed phase, and collect the result. The returned
+// recorder is non-nil only when the Spec requested tracing.
+func Exec(s Spec) (Result, *trace.Recorder, error) {
+	k, err := kernel.New(s.kernelConfig())
+	if err != nil {
+		return Result{}, nil, err
+	}
+	if s.Workload.Setup != nil {
+		if err := s.Workload.Setup(k, s.Scale); err != nil {
+			return Result{}, nil, fmt.Errorf("%s/%s setup: %w", s.Workload.Name, s.Config.Label, err)
+		}
+	}
+	resetAll(k)
+	var rec *trace.Recorder
+	if s.TraceN > 0 {
+		rec = trace.NewRecorder(s.TraceN)
+		k.PM.SetTracer(rec)
+	}
+	if s.Workload.Run != nil {
+		if err := s.Workload.Run(k, s.Scale); err != nil {
+			return Result{}, nil, fmt.Errorf("%s/%s: %w", s.Workload.Name, s.Config.Label, err)
+		}
+	}
+	return Collect(s.Workload.Name, s.Config, k), rec, nil
+}
+
+// resetAll zeroes every counter in the system so the measured phase
+// starts clean: the clock, the machine, the pmap/CacheControl layer, the
+// VM system (including paging activity), the file system, the disk, and
+// the Unix server.
+func resetAll(k *kernel.Kernel) {
+	k.M.Clock.Reset()
+	k.M.ResetStats()
+	k.PM.ResetStats()
+	k.VM.ResetStats()
+	k.FS.ResetStats()
+	k.Disk.ResetStats()
+	k.Server.ResetStats()
+}
+
+// Collect snapshots every counter into a Result.
+func Collect(name string, cfg policy.Config, k *kernel.Kernel) Result {
+	by := make(map[sim.Category]uint64)
+	for _, cat := range []sim.Category{sim.CatAccess, sim.CatFlush, sim.CatPurge, sim.CatFault, sim.CatDMA, sim.CatCompute} {
+		by[cat] = k.M.Clock.CyclesIn(cat)
+	}
+	pageOuts, swapIns, textDrops := k.VM.SwapStats()
+	return Result{
+		Workload:         name,
+		Config:           cfg,
+		PageOuts:         pageOuts,
+		SwapIns:          swapIns,
+		TextDrops:        textDrops,
+		Seconds:          k.M.Clock.Seconds(),
+		Cycles:           k.M.Clock.Cycles(),
+		CyclesBy:         by,
+		PM:               k.PM.Stats(),
+		Ctl:              k.PM.ControllerStats(),
+		VM:               k.VM.Stats(),
+		FS:               k.FS.Stats(),
+		Disk:             k.Disk.Stats(),
+		Machine:          k.M.Stats(),
+		Server:           k.Server.Stats(),
+		OracleViolations: len(k.M.Oracle.Violations()),
+		OracleChecks:     k.M.Oracle.Checks(),
+	}
+}

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"vcache/internal/policy"
+	"vcache/internal/trace"
+)
+
+// Plan is an ordered list of independent runs. Order is significant:
+// results always come back in plan order, whatever order the runs
+// complete in.
+type Plan []Spec
+
+// Matrix builds the cross-product plan the evaluation tables use: for
+// each workload (outer), each configuration (inner) — Table 1/4 row
+// order.
+func Matrix(ws []Workload, cfgs []policy.Config, scale Scale) Plan {
+	p := make(Plan, 0, len(ws)*len(cfgs))
+	for _, w := range ws {
+		for _, cfg := range cfgs {
+			p = append(p, Spec{Workload: w, Config: cfg, Scale: scale})
+		}
+	}
+	return p
+}
+
+// RunError is the structured failure of one plan entry. A failure —
+// whether the workload returned an error or panicked outright — never
+// aborts sibling runs; it is delivered in the failed entry's Outcome.
+type RunError struct {
+	// Index is the entry's position in the plan.
+	Index int
+	// Spec is the run that failed.
+	Spec Spec
+	// Err is the error the run returned, if it failed by returning.
+	Err error
+	// PanicValue and Stack describe a recovered panic, if it failed by
+	// panicking.
+	PanicValue any
+	Stack      string
+}
+
+func (e *RunError) Error() string {
+	if e.PanicValue != nil {
+		return fmt.Sprintf("harness: run %d (%s) panicked: %v", e.Index, e.Spec.Label(), e.PanicValue)
+	}
+	return fmt.Sprintf("harness: run %d (%s): %v", e.Index, e.Spec.Label(), e.Err)
+}
+
+// Unwrap exposes the underlying run error to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// Outcome is the result of one plan entry: either a Result (plus a trace
+// recorder if the Spec asked for one) or a *RunError.
+type Outcome struct {
+	Index  int
+	Spec   Spec
+	Result Result
+	Trace  *trace.Recorder
+	Err    error
+}
+
+// Runner executes a Plan across a pool of workers.
+type Runner struct {
+	// Workers is the fan-out width; <= 0 means runtime.GOMAXPROCS(0)
+	// (the cmd-level -j flag maps straight onto this).
+	Workers int
+	// OnStart and OnDone, when set, are progress hooks. They are
+	// serialized: the runner never invokes either concurrently with
+	// itself or the other, so hooks may write to a shared log.
+	OnStart func(index int, s Spec)
+	OnDone  func(o Outcome)
+
+	hookMu sync.Mutex
+}
+
+// Run executes every entry of the plan and returns the outcomes in plan
+// order. It never returns early: an entry that fails or panics yields an
+// Outcome with a *RunError while its siblings run to completion.
+func (r *Runner) Run(p Plan) []Outcome {
+	out := make([]Outcome, len(p))
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(p) {
+		workers = len(p)
+	}
+	if workers <= 1 {
+		for i := range p {
+			out[i] = r.runOne(i, p[i])
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = r.runOne(i, p[i])
+			}
+		}()
+	}
+	for i := range p {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+func (r *Runner) runOne(i int, s Spec) Outcome {
+	if r.OnStart != nil {
+		r.hookMu.Lock()
+		r.OnStart(i, s)
+		r.hookMu.Unlock()
+	}
+	o := Outcome{Index: i, Spec: s}
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				o.Err = &RunError{Index: i, Spec: s, PanicValue: v, Stack: string(debug.Stack())}
+			}
+		}()
+		res, rec, err := Exec(s)
+		if err != nil {
+			o.Err = &RunError{Index: i, Spec: s, Err: err}
+			return
+		}
+		o.Result = res
+		if rec != nil {
+			o.Trace = rec
+		}
+	}()
+	if r.OnDone != nil {
+		r.hookMu.Lock()
+		r.OnDone(o)
+		r.hookMu.Unlock()
+	}
+	return o
+}
+
+// Run executes a plan with the given fan-out and returns the outcomes in
+// plan order (a one-shot Runner).
+func Run(p Plan, workers int) []Outcome {
+	return (&Runner{Workers: workers}).Run(p)
+}
+
+// Results unpacks outcomes into results, in plan order. It returns the
+// first error encountered (in plan order, so the choice is deterministic
+// under any fan-out), and additionally rejects any run the oracle
+// flagged as unclean.
+func Results(outs []Outcome) ([]Result, error) {
+	rs := make([]Result, len(outs))
+	for i, o := range outs {
+		if o.Err != nil {
+			return nil, o.Err
+		}
+		if err := o.Result.CheckClean(); err != nil {
+			return nil, err
+		}
+		rs[i] = o.Result
+	}
+	return rs, nil
+}

@@ -2,6 +2,7 @@ package pmap
 
 import (
 	"fmt"
+	"sort"
 
 	"vcache/internal/arch"
 	"vcache/internal/core"
@@ -177,6 +178,9 @@ func (p *Pmap) Remove(space arch.SpaceID, vpn arch.VPN) {
 }
 
 // RemoveAll tears down every mapping of a space (address space exit).
+// Mappings are removed in ascending VPN order: removal drives flushes,
+// purges, and lazy-state transitions, so map-iteration order here would
+// otherwise make a run's consistency work nondeterministic.
 func (p *Pmap) RemoveAll(space arch.SpaceID) {
 	t := p.tables[space]
 	if t == nil {
@@ -186,6 +190,7 @@ func (p *Pmap) RemoveAll(space arch.SpaceID) {
 	for vpn := range t {
 		vpns = append(vpns, vpn)
 	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
 	for _, vpn := range vpns {
 		p.Remove(space, vpn)
 	}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"strings"
 
+	"vcache/internal/harness"
+	"vcache/internal/kernel"
+	"vcache/internal/policy"
 	"vcache/internal/workload"
 )
 
@@ -17,6 +20,72 @@ import (
 //   - PurgeCostSweep varies the per-line purge cost between the ideal
 //     single-cycle purge the paper argues for and the 720's measured
 //     cost, generalizing the Section 5.1 what-if.
+//
+// Each sweep has a driver (RunMemorySweep, RunPurgeCostSweep) that
+// builds the whole series as one harness.Plan, submits it to the given
+// runner — every point is an independent simulation, so the series fans
+// out across workers — and renders the rows from the plan-ordered
+// results.
+
+// MemorySweepFrames are the physical memory sizes (in 4 KiB frames) the
+// memory sweep samples.
+var MemorySweepFrames = []int{384, 512, 768, 1024, 1536, 2048, 4096}
+
+// RunMemorySweep runs the memory-size series (kernel-build under A and F
+// at each memory size) through the runner and renders it.
+func RunMemorySweep(r *harness.Runner, scale workload.Scale) (string, error) {
+	var plan harness.Plan
+	for _, frames := range MemorySweepFrames {
+		for _, cfg := range []policy.Config{policy.Old(), policy.New()} {
+			kc := kernel.DefaultConfig(cfg)
+			kc.Machine.Frames = frames
+			plan = append(plan, harness.Spec{Workload: workload.KernelBuild(), Config: cfg, Scale: scale, Kernel: &kc})
+		}
+	}
+	results, err := harness.Results(r.Run(plan))
+	if err != nil {
+		return "", err
+	}
+	var rows []MemorySweepRow
+	for i, frames := range MemorySweepFrames {
+		rows = append(rows, MemorySweepRow{
+			Frames: frames,
+			Old:    results[2*i],
+			New:    results[2*i+1],
+		})
+	}
+	return MemorySweep(rows), nil
+}
+
+// PurgeCostSweepCosts are the per-line purge-hit costs (cycles) the
+// purge-cost sweep samples, from the ideal single-cycle purge to 4× the
+// 720's measured cost.
+var PurgeCostSweepCosts = []uint64{0, 1, 2, 4, 7, 14, 28}
+
+// RunPurgeCostSweep runs the purge-cost series (kernel-build under F at
+// each per-line purge cost) through the runner and renders it.
+func RunPurgeCostSweep(r *harness.Runner, scale workload.Scale) (string, error) {
+	var plan harness.Plan
+	for _, cost := range PurgeCostSweepCosts {
+		cfg := policy.New()
+		kc := kernel.DefaultConfig(cfg)
+		kc.Machine.Timing.LinePurgeHit = cost
+		if cost == 0 {
+			kc.Machine.Timing.LinePurgeMiss = 0
+			kc.Machine.Timing.ICachePagePurge = 1
+		}
+		plan = append(plan, harness.Spec{Workload: workload.KernelBuild(), Config: cfg, Scale: scale, Kernel: &kc})
+	}
+	results, err := harness.Results(r.Run(plan))
+	if err != nil {
+		return "", err
+	}
+	var rows []PurgeCostRow
+	for i, cost := range PurgeCostSweepCosts {
+		rows = append(rows, PurgeCostRow{LinePurgeHit: cost, Result: results[i]})
+	}
+	return PurgeCostSweep(rows), nil
+}
 
 // MemorySweepRow is one point of the memory-size series.
 type MemorySweepRow struct {

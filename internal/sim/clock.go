@@ -49,6 +49,11 @@ func (c Category) String() string {
 	}
 }
 
+// MarshalText renders the category by name, so JSON maps keyed by
+// Category (vcachesim -json) read "access"/"flush"/... instead of raw
+// integers.
+func (c Category) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
 // NewClock returns a clock charging cycles per the given profile.
 func NewClock(t Timing) *Clock {
 	return &Clock{timing: t, byCat: make(map[Category]uint64, int(numCategories))}

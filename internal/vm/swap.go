@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"sort"
 
 	"vcache/internal/arch"
 	"vcache/internal/dma"
@@ -188,10 +189,17 @@ func (sys *System) freeSwapBlock(blk dma.BlockID) {
 	sys.swapFree = append(sys.swapFree, blk)
 }
 
-// releaseSwap returns an object's swap blocks when it dies.
+// releaseSwap returns an object's swap blocks when it dies, in ascending
+// page-index order so the free-block stack — and with it every later
+// block-reuse decision — stays deterministic across runs.
 func (sys *System) releaseSwap(obj *Object) {
-	for idx, blk := range obj.swapped {
-		sys.freeSwapBlock(blk)
+	idxs := make([]uint64, 0, len(obj.swapped))
+	for idx := range obj.swapped {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		sys.freeSwapBlock(obj.swapped[idx])
 		delete(obj.swapped, idx)
 	}
 }

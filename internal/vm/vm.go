@@ -174,6 +174,14 @@ func (sys *System) Pmap() *pmap.Pmap { return sys.pm }
 // Stats returns a snapshot of the counters.
 func (sys *System) Stats() Stats { return sys.stats }
 
+// ResetStats zeroes the VM and paging counters. Harnesses call this
+// after workload setup so measured results exclude setup-phase faults,
+// zero-fills, pageouts, and swap-ins.
+func (sys *System) ResetStats() {
+	sys.stats = Stats{}
+	sys.swapStats = swapStats{}
+}
+
 // CreateSpace allocates a new, empty address space.
 func (sys *System) CreateSpace() *Space {
 	s := &Space{ID: sys.nextID, cursor: 0x1000}
@@ -258,21 +266,32 @@ func (sys *System) Unmap(s *Space, r *Region) {
 		sys.pm.Remove(s.ID, v)
 	}
 	if r.Shadow != nil {
-		for _, f := range r.Shadow.pages {
-			sys.pm.FreeFrame(f)
-		}
-		r.Shadow.pages = nil
+		sys.freePages(r.Shadow)
 		sys.releaseSwap(r.Shadow)
 	}
 	r.Obj.refs--
 	if r.Obj.refs == 0 {
-		for _, f := range r.Obj.pages {
-			sys.pm.FreeFrame(f)
-		}
-		r.Obj.pages = nil
+		sys.freePages(r.Obj)
 		sys.releaseSwap(r.Obj)
 	}
 	s.removeRegion(r)
+}
+
+// freePages releases every resident frame of obj in ascending page-index
+// order. The order matters: freed frames enter the allocator's FIFO free
+// lists, so iterating the page map directly would make free-list order —
+// and with it every later frame-recycling decision and its consistency
+// work — vary run to run with Go's randomized map iteration.
+func (sys *System) freePages(obj *Object) {
+	idxs := make([]uint64, 0, len(obj.pages))
+	for idx := range obj.pages {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		sys.pm.FreeFrame(obj.pages[idx])
+	}
+	obj.pages = nil
 }
 
 var _ machine.FaultHandler = (*System)(nil)

@@ -34,7 +34,7 @@ func AFSBench() Workload {
 			return k.FS.Sync()
 		},
 		Run: func(k *kernel.Kernel, s Scale) error {
-			files := s.n(baseFiles)
+			files := s.N(baseFiles)
 			shell, err := k.Spawn(nil, 0, 16)
 			if err != nil {
 				return err
@@ -114,7 +114,7 @@ func AFSBench() Workload {
 			if err != nil {
 				return err
 			}
-			batch := s.n(compileBatch)
+			batch := s.N(compileBatch)
 			for i := 0; i < batch; i++ {
 				child, err := k.Spawn(cc, ccTextPages, 8)
 				if err != nil {

@@ -50,7 +50,7 @@ func KernelBuild() Workload {
 					return err
 				}
 			}
-			sources := s.n(baseSources)
+			sources := s.N(baseSources)
 			for i := 0; i < sources; i++ {
 				src, err := k.FS.Create(fmt.Sprintf("src/c%03d.c", i))
 				if err != nil {
@@ -63,7 +63,7 @@ func KernelBuild() Workload {
 			return k.FS.Sync()
 		},
 		Run: func(k *kernel.Kernel, s Scale) error {
-			sources := s.n(baseSources)
+			sources := s.N(baseSources)
 			make_, err := k.Spawn(nil, 0, 8)
 			if err != nil {
 				return err

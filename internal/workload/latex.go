@@ -58,7 +58,7 @@ func LatexPaper() Workload {
 			}
 			defer k.Exit(tex)
 
-			chunks := s.n(baseChunks)
+			chunks := s.N(baseChunks)
 			for pass := 0; pass < 2; pass++ {
 				// Load inputs.
 				src, err := k.OpenFile(tex, "paper.tex")

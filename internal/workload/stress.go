@@ -27,7 +27,7 @@ func Stress(seed uint64, steps int) Workload {
 			return k.FS.Sync()
 		},
 		Run: func(k *kernel.Kernel, s Scale) error {
-			return runStress(k, seed, s.n(steps))
+			return runStress(k, seed, s.N(steps))
 		},
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"vcache/internal/cache"
+	"vcache/internal/harness"
 	"vcache/internal/kernel"
 	"vcache/internal/policy"
 )
@@ -28,24 +29,28 @@ func TestVariantArchitectures(t *testing.T) {
 		{"4-way-VI", func(c *kernel.Config) { c.Machine.DCacheWays = 4 }},
 		{"2-way-icache", func(c *kernel.Config) { c.Machine.ICacheWays = 2 }},
 	}
+	var plan harness.Plan
 	for _, v := range variants {
-		v := v
-		t.Run(v.name, func(t *testing.T) {
-			for _, cfg := range []policy.Config{policy.Old(), policy.New()} {
-				kc := kernel.DefaultConfig(cfg)
-				v.mut(&kc)
-				r, err := Run(Stress(7, 300), cfg, Full(), kc)
-				if err != nil {
-					t.Fatalf("%s/%s: %v", v.name, cfg.Label, err)
-				}
-				if r.OracleViolations != 0 {
-					t.Fatalf("%s/%s: %d stale transfers", v.name, cfg.Label, r.OracleViolations)
-				}
-				if r.OracleChecks == 0 {
-					t.Fatal("oracle not exercised")
-				}
-			}
-		})
+		for _, cfg := range []policy.Config{policy.Old(), policy.New()} {
+			kc := kernel.DefaultConfig(cfg)
+			v.mut(&kc)
+			plan = append(plan, harness.Spec{
+				Name:     v.name + "/" + cfg.Label,
+				Workload: Stress(7, 300),
+				Config:   cfg,
+				Scale:    Full(),
+				Kernel:   &kc,
+			})
+		}
+	}
+	results, err := harness.Results(harness.Run(plan, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.OracleChecks == 0 {
+			t.Errorf("%s: oracle not exercised", plan[i].Label())
+		}
 	}
 }
 

@@ -16,32 +16,26 @@
 // relative results (which configuration wins, how flush/purge counts
 // fall from configuration A to F) can be compared against the paper's
 // tables.
+//
+// Execution lives in internal/harness: Run, RunDefault, and RunTraced
+// are thin wrappers over harness.Exec, and the experiment drivers
+// (cmd/tables, the sweep drivers, the test matrices) submit harness
+// Plans built from these workloads instead of calling them one at a
+// time.
 package workload
 
 import (
 	"fmt"
 
-	"vcache/internal/core"
-	"vcache/internal/dma"
-	"vcache/internal/fs"
+	"vcache/internal/harness"
 	"vcache/internal/kernel"
-	"vcache/internal/machine"
-	"vcache/internal/pmap"
 	"vcache/internal/policy"
-	"vcache/internal/sim"
 	"vcache/internal/trace"
-	"vcache/internal/unixserver"
-	"vcache/internal/vm"
 )
 
 // Scale sizes a workload. Tests use Small for speed; the table harness
 // uses Full.
-type Scale struct {
-	Name string
-	// Factor multiplies the workload's intrinsic sizes (file counts,
-	// compile counts, loop iterations). 1.0 is Full.
-	Factor float64
-}
+type Scale = harness.Scale
 
 // Full is the scale the experiment tables are generated at.
 func Full() Scale { return Scale{Name: "full", Factor: 1.0} }
@@ -49,46 +43,11 @@ func Full() Scale { return Scale{Name: "full", Factor: 1.0} }
 // Small is a fast scale for unit and property tests.
 func Small() Scale { return Scale{Name: "small", Factor: 0.15} }
 
-func (s Scale) n(base int) int {
-	n := int(float64(base) * s.Factor)
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
-
 // Workload is a runnable benchmark.
-type Workload struct {
-	Name string
-	// Setup builds input state (source trees, images); it is excluded
-	// from measurement.
-	Setup func(k *kernel.Kernel, s Scale) error
-	// Run is the timed phase.
-	Run func(k *kernel.Kernel, s Scale) error
-}
+type Workload = harness.Workload
 
 // Result carries everything the experiment tables report for one run.
-type Result struct {
-	Workload string
-	Config   policy.Config
-	Seconds  float64
-	Cycles   uint64
-	CyclesBy map[sim.Category]uint64
-	PM       pmap.Stats
-	Ctl      core.Stats
-	VM       vm.Stats
-	FS       fs.Stats
-	Disk     dma.Stats
-	Machine  machine.Stats
-	Server   unixserver.Stats
-	// Paging activity (the default pager).
-	PageOuts  uint64
-	SwapIns   uint64
-	TextDrops uint64
-	// OracleViolations must be zero for any correct configuration.
-	OracleViolations int
-	OracleChecks     uint64
-}
+type Result = harness.Result
 
 // Benchmarks returns the three paper benchmarks in Table 1/4 order.
 func Benchmarks() []Workload {
@@ -108,89 +67,28 @@ func ByName(name string) (Workload, error) {
 // Run boots a fresh system under cfg, performs setup, resets every
 // counter, runs the timed phase, and collects the result.
 func Run(w Workload, cfg policy.Config, s Scale, kcfg kernel.Config) (Result, error) {
-	kcfg.Policy = cfg
-	k, err := kernel.New(kcfg)
-	if err != nil {
-		return Result{}, err
-	}
-	if w.Setup != nil {
-		if err := w.Setup(k, s); err != nil {
-			return Result{}, fmt.Errorf("%s/%s setup: %w", w.Name, cfg.Label, err)
-		}
-	}
-	resetAll(k)
-	if err := w.Run(k, s); err != nil {
-		return Result{}, fmt.Errorf("%s/%s: %w", w.Name, cfg.Label, err)
-	}
-	return Collect(w.Name, cfg, k), nil
+	r, _, err := harness.Exec(harness.Spec{Workload: w, Config: cfg, Scale: s, Kernel: &kcfg})
+	return r, err
 }
 
 // RunDefault runs with the standard HP 720 system configuration.
 func RunDefault(w Workload, cfg policy.Config, s Scale) (Result, error) {
-	return Run(w, cfg, s, kernel.DefaultConfig(cfg))
-}
-
-func resetAll(k *kernel.Kernel) {
-	k.M.Clock.Reset()
-	k.M.ResetStats()
-	k.PM.ResetStats()
-	k.FS.ResetStats()
-	k.Disk.ResetStats()
-	k.Server.ResetStats()
+	r, _, err := harness.Exec(harness.Spec{Workload: w, Config: cfg, Scale: s})
+	return r, err
 }
 
 // Collect snapshots every counter into a Result.
 func Collect(name string, cfg policy.Config, k *kernel.Kernel) Result {
-	by := make(map[sim.Category]uint64)
-	for _, cat := range []sim.Category{sim.CatAccess, sim.CatFlush, sim.CatPurge, sim.CatFault, sim.CatDMA, sim.CatCompute} {
-		by[cat] = k.M.Clock.CyclesIn(cat)
-	}
-	pageOuts, swapIns, textDrops := k.VM.SwapStats()
-	return Result{
-		Workload:         name,
-		Config:           cfg,
-		PageOuts:         pageOuts,
-		SwapIns:          swapIns,
-		TextDrops:        textDrops,
-		Seconds:          k.M.Clock.Seconds(),
-		Cycles:           k.M.Clock.Cycles(),
-		CyclesBy:         by,
-		PM:               k.PM.Stats(),
-		Ctl:              k.PM.ControllerStats(),
-		VM:               k.VM.Stats(),
-		FS:               k.FS.Stats(),
-		Disk:             k.Disk.Stats(),
-		Machine:          k.M.Stats(),
-		Server:           k.Server.Stats(),
-		OracleViolations: len(k.M.Oracle.Violations()),
-		OracleChecks:     k.M.Oracle.Checks(),
-	}
+	return harness.Collect(name, cfg, k)
 }
 
 // RunTraced is Run with an optional trace recorder attached to the pmap
 // for the timed phase. traceN <= 0 disables tracing; otherwise the
 // recorder keeping the last traceN events is returned through rec.
 func RunTraced(w Workload, cfg policy.Config, s Scale, kcfg kernel.Config, traceN int, rec **trace.Recorder) (Result, error) {
-	kcfg.Policy = cfg
-	k, err := kernel.New(kcfg)
-	if err != nil {
-		return Result{}, err
+	r, tr, err := harness.Exec(harness.Spec{Workload: w, Config: cfg, Scale: s, Kernel: &kcfg, TraceN: traceN})
+	if rec != nil && tr != nil {
+		*rec = tr
 	}
-	if w.Setup != nil {
-		if err := w.Setup(k, s); err != nil {
-			return Result{}, fmt.Errorf("%s/%s setup: %w", w.Name, cfg.Label, err)
-		}
-	}
-	resetAll(k)
-	if traceN > 0 {
-		r := trace.NewRecorder(traceN)
-		k.PM.SetTracer(r)
-		if rec != nil {
-			*rec = r
-		}
-	}
-	if err := w.Run(k, s); err != nil {
-		return Result{}, fmt.Errorf("%s/%s: %w", w.Name, cfg.Label, err)
-	}
-	return Collect(w.Name, cfg, k), nil
+	return r, err
 }

@@ -3,32 +3,30 @@ package workload
 import (
 	"testing"
 
+	"vcache/internal/harness"
 	"vcache/internal/policy"
 )
 
 // TestBenchmarksAllConfigs runs each paper benchmark at small scale
-// under every lettered configuration, asserting correctness (no stale
-// transfers) and the paper's headline relations: the new system (F) is
-// no slower than the old one (A), and flush+purge work never increases
-// as optimizations accumulate in the direction each optimization
-// targets.
+// under every lettered configuration — the whole matrix submitted as one
+// parallel harness plan — asserting correctness (no stale transfers) and
+// the paper's headline relations: the new system (F) is no slower than
+// the old one (A), and flush+purge work never increases as optimizations
+// accumulate in the direction each optimization targets.
 func TestBenchmarksAllConfigs(t *testing.T) {
-	for _, w := range Benchmarks() {
-		w := w
+	benchmarks := Benchmarks()
+	configs := policy.Configs()
+	all, err := harness.Results(harness.Run(harness.Matrix(benchmarks, configs, Small()), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi, w := range Benchmarks() {
+		results := all[bi*len(configs) : (bi+1)*len(configs)]
 		t.Run(w.Name, func(t *testing.T) {
-			var results []Result
-			for _, cfg := range policy.Configs() {
-				r, err := RunDefault(w, cfg, Small())
-				if err != nil {
-					t.Fatalf("%s under %s: %v", w.Name, cfg.Label, err)
-				}
-				if r.OracleViolations != 0 {
-					t.Fatalf("%s under %s: %d stale transfers", w.Name, cfg.Label, r.OracleViolations)
-				}
+			for _, r := range results {
 				if r.OracleChecks == 0 {
-					t.Fatalf("%s under %s: oracle not exercised", w.Name, cfg.Label)
+					t.Fatalf("%s under %s: oracle not exercised", w.Name, r.Config.Label)
 				}
-				results = append(results, r)
 			}
 			a, f := results[0], results[len(results)-1]
 			if f.Seconds > a.Seconds*1.02 {
@@ -51,24 +49,24 @@ func TestBenchmarksAllConfigs(t *testing.T) {
 }
 
 // TestStressAllConfigs tortures every configuration and Table 5 system
-// with randomized operation sequences; the oracle proves no stale data
-// is ever delivered to the CPU, the instruction stream, or a device.
+// with randomized operation sequences — the full config × seed matrix as
+// one parallel plan; the oracle proves no stale data is ever delivered
+// to the CPU, the instruction stream, or a device (harness.Results
+// rejects any unclean run).
 func TestStressAllConfigs(t *testing.T) {
-	configs := append(policy.Configs(), policy.Table5Systems()...)
-	for _, cfg := range configs {
-		cfg := cfg
-		t.Run(cfg.Label, func(t *testing.T) {
-			for seed := uint64(1); seed <= 3; seed++ {
-				w := Stress(seed, 400)
-				r, err := RunDefault(w, cfg, Full())
-				if err != nil {
-					t.Fatalf("seed %d: %v", seed, err)
-				}
-				if r.OracleViolations != 0 {
-					t.Fatalf("seed %d: %d stale transfers", seed, r.OracleViolations)
-				}
-			}
-		})
+	var plan harness.Plan
+	for _, cfg := range append(policy.Configs(), policy.Table5Systems()...) {
+		for seed := uint64(1); seed <= 3; seed++ {
+			plan = append(plan, harness.Spec{
+				Name:     cfg.Label + "/" + Stress(seed, 400).Name,
+				Workload: Stress(seed, 400),
+				Config:   cfg,
+				Scale:    Full(),
+			})
+		}
+	}
+	if _, err := harness.Results(harness.Run(plan, 4)); err != nil {
+		t.Fatal(err)
 	}
 }
 
