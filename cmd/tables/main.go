@@ -21,9 +21,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"vcache/internal/harness"
 	"vcache/internal/policy"
@@ -48,6 +52,11 @@ func main() {
 	scale := workload.Scale{Name: "custom", Factor: *factor}
 	all := !*micro && !*analysis && !*sweep && *table == 0
 
+	// Ctrl-C cancels the in-flight plan: running simulations stop at
+	// their next kernel operation and surface as structured RunErrors.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	runner := &harness.Runner{Workers: *jobs}
 	if *verbose {
 		runner.OnStart = func(i int, s harness.Spec) { log.Printf("run %d: %s ...", i, s.Label()) }
@@ -61,21 +70,21 @@ func main() {
 	}
 
 	if *sweep {
-		fmt.Print(must(report.RunMemorySweep(runner, scale)))
+		fmt.Print(must(report.RunMemorySweepContext(ctx, runner, scale)))
 		fmt.Println()
-		fmt.Print(must(report.RunPurgeCostSweep(runner, scale)))
+		fmt.Print(must(report.RunPurgeCostSweepContext(ctx, runner, scale)))
 		return
 	}
 
 	if all || *table == 1 {
-		fmt.Print(table1(runner, scale))
+		fmt.Print(table1(ctx, runner, scale))
 		fmt.Println()
 	}
 	if all || *table == 4 {
-		fmt.Print(table4(runner, scale))
+		fmt.Print(table4(ctx, runner, scale))
 	}
 	if all || *table == 5 {
-		fmt.Print(table5(runner))
+		fmt.Print(table5(ctx, runner))
 		fmt.Println()
 	}
 	if all || *micro {
@@ -83,13 +92,13 @@ func main() {
 		fmt.Println()
 	}
 	if all || *analysis {
-		fmt.Print(analysis51(runner, scale))
+		fmt.Print(analysis51(ctx, runner, scale))
 	}
 }
 
-func table1(r *harness.Runner, scale workload.Scale) string {
+func table1(ctx context.Context, r *harness.Runner, scale workload.Scale) string {
 	plan := harness.Matrix(workload.Benchmarks(), []policy.Config{policy.Old(), policy.New()}, scale)
-	results := mustResults(r.Run(plan))
+	results := mustResults(r.RunContext(ctx, plan))
 	var pairs [][2]workload.Result
 	for i := 0; i < len(results); i += 2 {
 		pairs = append(pairs, [2]workload.Result{results[i], results[i+1]})
@@ -97,10 +106,10 @@ func table1(r *harness.Runner, scale workload.Scale) string {
 	return report.Table1(pairs)
 }
 
-func table4(r *harness.Runner, scale workload.Scale) string {
+func table4(ctx context.Context, r *harness.Runner, scale workload.Scale) string {
 	benchmarks := workload.Benchmarks()
 	plan := harness.Matrix(benchmarks, policy.Configs(), scale)
-	results := mustResults(r.Run(plan))
+	results := mustResults(r.RunContext(ctx, plan))
 	var names []string
 	var grouped [][]workload.Result
 	per := len(policy.Configs())
@@ -111,13 +120,13 @@ func table4(r *harness.Runner, scale workload.Scale) string {
 	return report.Table4(names, grouped)
 }
 
-func table5(r *harness.Runner) string {
+func table5(ctx context.Context, r *harness.Runner) string {
 	systems := policy.Table5Systems()
 	var plan harness.Plan
 	for _, cfg := range systems {
 		plan = append(plan, harness.Spec{Workload: workload.Stress(42, 1500), Config: cfg, Scale: workload.Full()})
 	}
-	results := mustResults(r.Run(plan))
+	results := mustResults(r.RunContext(ctx, plan))
 	measured := make(map[string]workload.Result)
 	for i, cfg := range systems {
 		measured[cfg.Label] = results[i]
@@ -137,7 +146,7 @@ func microbench(writes int) string {
 	return report.Micro(aligned, unaligned)
 }
 
-func analysis51(r *harness.Runner, scale workload.Scale) string {
+func analysis51(ctx context.Context, r *harness.Runner, scale workload.Scale) string {
 	// For each benchmark: one run under the HP 720 timing, one under the
 	// single-cycle-purge what-if profile.
 	fastTiming := sim.FastPurgeTiming()
@@ -147,7 +156,7 @@ func analysis51(r *harness.Runner, scale workload.Scale) string {
 			harness.Spec{Workload: w, Config: policy.New(), Scale: scale},
 			harness.Spec{Workload: w, Config: policy.New(), Scale: scale, Timing: &fastTiming})
 	}
-	results := mustResults(r.Run(plan))
+	results := mustResults(r.RunContext(ctx, plan))
 	var normal, fast []workload.Result
 	for i := 0; i < len(results); i += 2 {
 		normal = append(normal, results[i])

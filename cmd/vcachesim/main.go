@@ -4,7 +4,10 @@
 //
 // With -json the complete workload.Result is emitted as a JSON object
 // instead of the human-readable breakdown, for scripting and
-// benchmark-trajectory tracking.
+// benchmark-trajectory tracking; failures (unknown workload or
+// configuration, invalid flags, run errors) are emitted as a JSON error
+// object `{"error": "..."}` with a non-zero exit, so scripted callers
+// always parse one JSON value from stdout.
 //
 // Usage:
 //
@@ -52,13 +55,29 @@ func main() {
 		return
 	}
 
-	cfg, err := findConfig(*cfgName)
-	if err != nil {
+	fail := func(err error) {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(map[string]string{"error": err.Error()})
+			os.Exit(1)
+		}
 		log.Fatal(err)
+	}
+
+	if *factor <= 0 {
+		fail(fmt.Errorf("-scale must be > 0, got %g", *factor))
+	}
+	if *cpus < 1 {
+		fail(fmt.Errorf("-cpus must be >= 1, got %d", *cpus))
+	}
+	cfg, err := policy.ByLabel(*cfgName)
+	if err != nil {
+		fail(err)
 	}
 	w, err := workload.ByName(*name)
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	kc := kernel.DefaultConfig(cfg)
 	kc.Machine.CPUs = *cpus
@@ -70,7 +89,7 @@ func main() {
 		TraceN:   *traceN,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -91,15 +110,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "CONSISTENCY VIOLATIONS: %d stale transfers observed\n", r.OracleViolations)
 		os.Exit(1)
 	}
-}
-
-func findConfig(label string) (policy.Config, error) {
-	for _, c := range append(policy.Configs(), policy.Table5Systems()...) {
-		if c.Label == label {
-			return c, nil
-		}
-	}
-	return policy.Config{}, fmt.Errorf("unknown configuration %q", label)
 }
 
 func printResult(r workload.Result) {

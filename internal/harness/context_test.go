@@ -1,0 +1,115 @@
+package harness_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"vcache/internal/harness"
+	"vcache/internal/kernel"
+	"vcache/internal/policy"
+	"vcache/internal/workload"
+)
+
+// TestRunContextCancelledBeforeStart: a plan submitted under an
+// already-cancelled context yields a structured RunError per entry, each
+// satisfying errors.Is(err, context.Canceled), and runs nothing.
+func TestRunContextCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	plan := harness.Matrix(workload.Benchmarks(), []policy.Config{policy.New()}, workload.Small())
+	outs := harness.RunWithContext(ctx, plan, 4)
+	if len(outs) != len(plan) {
+		t.Fatalf("got %d outcomes, want %d", len(outs), len(plan))
+	}
+	for i, o := range outs {
+		var re *harness.RunError
+		if !errors.As(o.Err, &re) {
+			t.Fatalf("entry %d: error %v is not a *RunError", i, o.Err)
+		}
+		if re.Index != i {
+			t.Errorf("entry %d: RunError.Index = %d", i, re.Index)
+		}
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Errorf("entry %d: error %v does not unwrap to context.Canceled", i, o.Err)
+		}
+	}
+}
+
+// TestExecContextCancelsMidRun: cancelling the context while the timed
+// phase is inside the kernel aborts the run at the next syscall boundary
+// — the cooperative cancellation the service's run deadlines rely on.
+// The workload cancels its own context partway through, so the test is
+// fully deterministic.
+func TestExecContextCancelsMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	steps := 0
+	w := harness.Workload{
+		Name: "self-cancelling",
+		Run: func(k *kernel.Kernel, s harness.Scale) error {
+			p, err := k.Spawn(nil, 0, 8)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 100; i++ {
+				if i == 5 {
+					cancel()
+				}
+				if err := k.TouchHeap(p, uint64(i%8), 4); err != nil {
+					return err
+				}
+				steps++
+			}
+			return nil
+		},
+	}
+	_, _, err := harness.ExecContext(ctx, harness.Spec{Workload: w, Config: policy.New(), Scale: workload.Small()})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: error %v, want context.Canceled", err)
+	}
+	if steps != 5 {
+		t.Fatalf("workload took %d steps after cancellation point, want exactly 5", steps)
+	}
+}
+
+// TestRunContextCancelSkipsRemaining: cancelling after the first entry
+// starts leaves later entries unrun, each with a RunError, while results
+// stay in plan order.
+func TestRunContextCancelSkipsRemaining(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ran := make([]bool, 4)
+	var plan harness.Plan
+	for i := 0; i < 4; i++ {
+		i := i
+		plan = append(plan, harness.Spec{
+			Name: "entry",
+			Workload: harness.Workload{
+				Name: "cancel-after-first",
+				Run: func(k *kernel.Kernel, s harness.Scale) error {
+					ran[i] = true
+					cancel()
+					return nil
+				},
+			},
+			Config: policy.New(),
+			Scale:  workload.Small(),
+		})
+	}
+	outs := (&harness.Runner{Workers: 1}).RunContext(ctx, plan)
+	if !ran[0] {
+		t.Fatal("first entry never ran")
+	}
+	if outs[0].Err != nil {
+		t.Fatalf("first entry failed: %v", outs[0].Err)
+	}
+	for i := 1; i < 4; i++ {
+		if ran[i] {
+			t.Errorf("entry %d ran after cancellation", i)
+		}
+		if !errors.Is(outs[i].Err, context.Canceled) {
+			t.Errorf("entry %d: error %v, want context.Canceled", i, outs[i].Err)
+		}
+	}
+}

@@ -18,6 +18,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"vcache/internal/core"
@@ -143,10 +144,24 @@ func (s Spec) kernelConfig() kernel.Config {
 // counter, run the timed phase, and collect the result. The returned
 // recorder is non-nil only when the Spec requested tracing.
 func Exec(s Spec) (Result, *trace.Recorder, error) {
+	return ExecContext(context.Background(), s)
+}
+
+// ExecContext is Exec under a context. Cancelling (or timing out) the
+// context aborts the run cooperatively: the kernel polls ctx.Err at
+// every syscall and process-operation boundary, so an in-flight setup or
+// timed phase stops within one operation and the error — satisfying
+// errors.Is(err, ctx.Err()) — propagates out exactly like a workload
+// failure.
+func ExecContext(ctx context.Context, s Spec) (Result, *trace.Recorder, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, nil, fmt.Errorf("%s/%s: %w", s.Workload.Name, s.Config.Label, err)
+	}
 	k, err := kernel.New(s.kernelConfig())
 	if err != nil {
 		return Result{}, nil, err
 	}
+	k.SetInterrupt(ctx.Err)
 	if s.Workload.Setup != nil {
 		if err := s.Workload.Setup(k, s.Scale); err != nil {
 			return Result{}, nil, fmt.Errorf("%s/%s setup: %w", s.Workload.Name, s.Config.Label, err)

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -82,6 +83,16 @@ type Runner struct {
 // order. It never returns early: an entry that fails or panics yields an
 // Outcome with a *RunError while its siblings run to completion.
 func (r *Runner) Run(p Plan) []Outcome {
+	return r.RunContext(context.Background(), p)
+}
+
+// RunContext is Run under a context. Cancelling the context aborts the
+// plan: entries not yet started are skipped, and in-flight runs stop
+// cooperatively at their next kernel operation (see ExecContext). Every
+// affected entry still yields an Outcome, in plan order, whose *RunError
+// wraps the context's error — the caller can tell a cancelled entry from
+// a genuinely failed one with errors.Is(err, ctx.Err()).
+func (r *Runner) RunContext(ctx context.Context, p Plan) []Outcome {
 	out := make([]Outcome, len(p))
 	workers := r.Workers
 	if workers <= 0 {
@@ -92,7 +103,7 @@ func (r *Runner) Run(p Plan) []Outcome {
 	}
 	if workers <= 1 {
 		for i := range p {
-			out[i] = r.runOne(i, p[i])
+			out[i] = r.runOne(ctx, i, p[i])
 		}
 		return out
 	}
@@ -103,7 +114,7 @@ func (r *Runner) Run(p Plan) []Outcome {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = r.runOne(i, p[i])
+				out[i] = r.runOne(ctx, i, p[i])
 			}
 		}()
 	}
@@ -115,7 +126,16 @@ func (r *Runner) Run(p Plan) []Outcome {
 	return out
 }
 
-func (r *Runner) runOne(i int, s Spec) Outcome {
+func (r *Runner) runOne(ctx context.Context, i int, s Spec) Outcome {
+	if err := ctx.Err(); err != nil {
+		o := Outcome{Index: i, Spec: s, Err: &RunError{Index: i, Spec: s, Err: err}}
+		if r.OnDone != nil {
+			r.hookMu.Lock()
+			r.OnDone(o)
+			r.hookMu.Unlock()
+		}
+		return o
+	}
 	if r.OnStart != nil {
 		r.hookMu.Lock()
 		r.OnStart(i, s)
@@ -128,7 +148,7 @@ func (r *Runner) runOne(i int, s Spec) Outcome {
 				o.Err = &RunError{Index: i, Spec: s, PanicValue: v, Stack: string(debug.Stack())}
 			}
 		}()
-		res, rec, err := Exec(s)
+		res, rec, err := ExecContext(ctx, s)
 		if err != nil {
 			o.Err = &RunError{Index: i, Spec: s, Err: err}
 			return
@@ -150,6 +170,12 @@ func (r *Runner) runOne(i int, s Spec) Outcome {
 // plan order (a one-shot Runner).
 func Run(p Plan, workers int) []Outcome {
 	return (&Runner{Workers: workers}).Run(p)
+}
+
+// RunWithContext executes a plan with the given fan-out under a context
+// (a one-shot Runner; see Runner.RunContext for cancellation semantics).
+func RunWithContext(ctx context.Context, p Plan, workers int) []Outcome {
+	return (&Runner{Workers: workers}).RunContext(ctx, p)
 }
 
 // Results unpacks outcomes into results, in plan order. It returns the

@@ -89,6 +89,11 @@ type Kernel struct {
 	procs   map[int]*Process
 	nextPID int
 	seq     uint64
+
+	// interrupt, when installed, is polled at every syscall and
+	// process-operation boundary; a non-nil return aborts the current
+	// operation with that error. See SetInterrupt.
+	interrupt func() error
 }
 
 // New boots a system under the given configuration.
@@ -136,6 +141,22 @@ func New(cfg Config) (*Kernel, error) {
 // Geometry returns the machine geometry.
 func (k *Kernel) Geometry() arch.Geometry { return k.M.Geom }
 
+// SetInterrupt installs a poll function consulted at every syscall and
+// process-operation boundary. When poll returns a non-nil error the
+// current operation aborts with it, which propagates out through the
+// workload to the harness — the mechanism behind context cancellation
+// of in-flight runs (harness.ExecContext installs ctx.Err here).
+// A nil poll removes the hook.
+func (k *Kernel) SetInterrupt(poll func() error) { k.interrupt = poll }
+
+// interrupted polls the interrupt hook, if one is installed.
+func (k *Kernel) interrupted() error {
+	if k.interrupt == nil {
+		return nil
+	}
+	return k.interrupt()
+}
+
 // Compute charges workload "think time" cycles.
 func (k *Kernel) Compute(cycles uint64) {
 	k.M.Clock.Charge(sim.CatCompute, cycles)
@@ -152,6 +173,9 @@ func (k *Kernel) nextValue() uint64 {
 // image: a fresh text object backed by the file system pages it in on
 // demand, each page-in performing the data-to-instruction-space copy.
 func (k *Kernel) Spawn(textFile *fs.File, textPages, heapPages uint64) (*Process, error) {
+	if err := k.interrupted(); err != nil {
+		return nil, err
+	}
 	p := &Process{ID: k.nextPID, Space: k.VM.CreateSpace(), heapPages: heapPages}
 	p.CPU = p.ID % k.M.NumCPUs()
 	k.nextPID++
@@ -194,6 +218,9 @@ func (k *Kernel) Spawn(textFile *fs.File, textPages, heapPages uint64) (*Process
 // checks every transfer); only the Unix-visible inheritance of
 // COW-modified pages across second-generation forks is simplified.
 func (k *Kernel) Fork(parent *Process) (*Process, error) {
+	if err := k.interrupted(); err != nil {
+		return nil, err
+	}
 	child := &Process{ID: k.nextPID, Space: k.VM.CreateSpace(), heapPages: parent.heapPages}
 	child.CPU = child.ID % k.M.NumCPUs()
 	k.nextPID++

@@ -24,6 +24,9 @@ const (
 // Syscall performs just the server transaction of a system call (run
 // from the calling process' CPU; the server side runs on the server's).
 func (k *Kernel) Syscall(p *Process) error {
+	if err := k.interrupted(); err != nil {
+		return err
+	}
 	k.M.SetCurrentCPU(p.CPU)
 	defer k.M.SetCurrentCPU(p.CPU) // kernel work after the transaction runs here
 	return k.Server.Transaction(p.Space, syscallReqWords, syscallRespWords)
@@ -106,6 +109,9 @@ func (k *Kernel) WriteFilePage(p *Process, f *fs.File, page, heapPage uint64) er
 // TouchHeap writes `stride`-spaced words of a heap page (faulting it in,
 // zero-filled, on first touch).
 func (k *Kernel) TouchHeap(p *Process, page uint64, words int) error {
+	if err := k.interrupted(); err != nil {
+		return err
+	}
 	k.M.SetCurrentCPU(p.CPU)
 	if page >= p.heapPages {
 		return fmt.Errorf("kernel: heap page %d out of range (%d)", page, p.heapPages)
@@ -128,6 +134,9 @@ func (k *Kernel) TouchHeap(p *Process, page uint64, words int) error {
 
 // ReadHeap reads `words` evenly spaced words of a heap page.
 func (k *Kernel) ReadHeap(p *Process, page uint64, words int) error {
+	if err := k.interrupted(); err != nil {
+		return err
+	}
 	k.M.SetCurrentCPU(p.CPU)
 	total := k.Geometry().WordsPerPage()
 	if words <= 0 {
@@ -149,6 +158,9 @@ func (k *Kernel) ReadHeap(p *Process, page uint64, words int) error {
 // instructions from each text page, faulting the pages in (data-to-
 // instruction-space copies) on first touch.
 func (k *Kernel) RunText(p *Process, words int) error {
+	if err := k.interrupted(); err != nil {
+		return err
+	}
 	k.M.SetCurrentCPU(p.CPU)
 	if p.Text == nil {
 		return fmt.Errorf("kernel: process %d has no text", p.ID)
@@ -188,6 +200,9 @@ func (k *Kernel) SendHeapPage(from *Process, page uint64, to *Process) (arch.VPN
 // process (used after IPC transfers, where the receiver address was
 // kernel-chosen).
 func (k *Kernel) ReadPage(p *Process, vpn arch.VPN, words int) error {
+	if err := k.interrupted(); err != nil {
+		return err
+	}
 	k.M.SetCurrentCPU(p.CPU)
 	geom := k.Geometry()
 	total := geom.WordsPerPage()
@@ -210,6 +225,9 @@ func (k *Kernel) ReadPage(p *Process, vpn arch.VPN, words int) error {
 // WritePage writes `words` evenly spaced words to an arbitrary mapped
 // page of a process.
 func (k *Kernel) WritePage(p *Process, vpn arch.VPN, words int) error {
+	if err := k.interrupted(); err != nil {
+		return err
+	}
 	k.M.SetCurrentCPU(p.CPU)
 	geom := k.Geometry()
 	total := geom.WordsPerPage()
@@ -235,6 +253,9 @@ func (k *Kernel) WritePage(p *Process, vpn arch.VPN, words int) error {
 func (k *Kernel) WriteFileContent(f *fs.File, pages uint64) error {
 	words := k.Geometry().WordsPerPage()
 	for pg := uint64(0); pg < pages; pg++ {
+		if err := k.interrupted(); err != nil {
+			return err
+		}
 		b, err := k.FS.GetBuffer(f, pg, true)
 		if err != nil {
 			return err

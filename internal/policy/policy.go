@@ -21,6 +21,8 @@
 // strategies built from the same machinery.
 package policy
 
+import "fmt"
+
 // Variant selects a fundamentally different consistency style for the
 // Table 5 comparison (the A–F configurations all use VariantCMU).
 type Variant uint8
@@ -207,4 +209,15 @@ func CMU() Config {
 // Table5Systems returns the five systems of Table 5 in the paper's order.
 func Table5Systems() []Config {
 	return []Config{CMU(), Utah(), Tut(), Apollo(), Sun()}
+}
+
+// ByLabel looks a configuration up by its Table 4/5 label (A..F, CMU,
+// Utah, Tut, Apollo, Sun).
+func ByLabel(label string) (Config, error) {
+	for _, c := range append(Configs(), Table5Systems()...) {
+		if c.Label == label {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("policy: unknown configuration %q", label)
 }

@@ -1,0 +1,250 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"vcache/internal/policy"
+	"vcache/internal/workload"
+)
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /run       one simulation request  → {"key","result"} (+ X-Vcache-Key / X-Vcache-Outcome headers)
+//	POST /batch     {"runs":[...]}          → {"results":[{"outcome","run"|"error"}]}
+//	GET  /healthz   liveness + drain state
+//	GET  /metrics   Prometheus-style text exposition
+//	GET  /workloads available workloads and configurations
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/workloads", s.handleWorkloads)
+	return mux
+}
+
+// httpError is the JSON error object every non-2xx response carries.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSONError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(httpError{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusOf maps a Submit error onto an HTTP status.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests // 429
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable // 503
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout // 504
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST a RunRequest to /run")
+		return
+	}
+	start := time.Now()
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.m.inc(&s.m.rejectedInvalid)
+		writeJSONError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	body, outcome, res, status, errMsg := s.serveOne(r.Context(), req)
+	if errMsg != "" {
+		s.logRequest("/run", status, outcome, res, req, errMsg, time.Since(start))
+		writeJSONError(w, status, "%s", errMsg)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Vcache-Key", res.Key)
+	w.Header().Set("X-Vcache-Outcome", outcome)
+	_, _ = w.Write(body)
+	s.logRequest("/run", http.StatusOK, outcome, res, req, "", time.Since(start))
+}
+
+// serveOne runs the full request path for one RunRequest: drain gate,
+// validation, deadline, submit. On failure it returns the HTTP status
+// and error message to serve; on success, the cached body and outcome.
+func (s *Service) serveOne(ctx context.Context, req RunRequest) (body []byte, outcome string, res *Resolved, status int, errMsg string) {
+	if s.Draining() {
+		s.m.inc(&s.m.rejectedDraining)
+		return nil, "", nil, http.StatusServiceUnavailable, ErrDraining.Error()
+	}
+	res, err := Resolve(req)
+	if err != nil {
+		s.m.inc(&s.m.rejectedInvalid)
+		return nil, "", nil, http.StatusBadRequest, err.Error()
+	}
+	if s.cfg.MaxScale > 0 && res.Spec.Scale.Factor > s.cfg.MaxScale {
+		s.m.inc(&s.m.rejectedInvalid)
+		return nil, "", res, http.StatusBadRequest,
+			fmt.Sprintf("scale %g exceeds the service cap %g", res.Spec.Scale.Factor, s.cfg.MaxScale)
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	body, outcome, err = s.Submit(ctx, res)
+	if err != nil {
+		return nil, outcome, res, statusOf(err), err.Error()
+	}
+	return body, outcome, res, http.StatusOK, ""
+}
+
+// BatchRequest submits a whole plan of runs in one call.
+type BatchRequest struct {
+	Runs []RunRequest `json:"runs"`
+}
+
+// BatchElem is one per-run outcome of a batch response; exactly one of
+// Run (the /run response body) and Error is set.
+type BatchElem struct {
+	Outcome string          `json:"outcome,omitempty"`
+	Run     json.RawMessage `json:"run,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// BatchResponse mirrors the request order.
+type BatchResponse struct {
+	Results []BatchElem `json:"results"`
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST a BatchRequest to /batch")
+		return
+	}
+	start := time.Now()
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.m.inc(&s.m.rejectedInvalid)
+		writeJSONError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(req.Runs) == 0 {
+		s.m.inc(&s.m.rejectedInvalid)
+		writeJSONError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	// Elements fan out concurrently through the same cache/singleflight/
+	// admission path as /run, so a batch of identical entries costs one
+	// simulation, and a batch wider than the run slots queues rather
+	// than stampeding.
+	resp := BatchResponse{Results: make([]BatchElem, len(req.Runs))}
+	var done sync.WaitGroup
+	for i, rr := range req.Runs {
+		done.Add(1)
+		go func(i int, rr RunRequest) {
+			defer done.Done()
+			body, outcome, _, _, errMsg := s.serveOne(r.Context(), rr)
+			if errMsg != "" {
+				resp.Results[i] = BatchElem{Outcome: outcome, Error: errMsg}
+				return
+			}
+			resp.Results[i] = BatchElem{Outcome: outcome, Run: body}
+		}(i, rr)
+	}
+	done.Wait()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+	s.logRequest("/batch", http.StatusOK, "", nil, RunRequest{}, "", time.Since(start))
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "draining"})
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":   "ok",
+		"inflight": s.inflight.Load(),
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	s.m.render(&b, s.Metrics())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = fmt.Fprint(w, b.String())
+}
+
+func (s *Service) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	type cfgInfo struct {
+		Label string `json:"label"`
+		Name  string `json:"name"`
+	}
+	var ws []string
+	for _, wl := range workload.Benchmarks() {
+		ws = append(ws, wl.Name)
+	}
+	var cfgs []cfgInfo
+	for _, c := range append(policy.Configs(), policy.Table5Systems()...) {
+		cfgs = append(cfgs, cfgInfo{Label: c.Label, Name: c.Name})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"workloads": ws, "configs": cfgs})
+}
+
+// accessLog is one structured request-log line.
+type accessLog struct {
+	Time     string  `json:"time"`
+	Path     string  `json:"path"`
+	Status   int     `json:"status"`
+	Outcome  string  `json:"outcome,omitempty"`
+	Key      string  `json:"key,omitempty"`
+	Workload string  `json:"workload,omitempty"`
+	Config   string  `json:"config,omitempty"`
+	Scale    float64 `json:"scale,omitempty"`
+	DurMS    float64 `json:"dur_ms"`
+	Error    string  `json:"error,omitempty"`
+}
+
+func (s *Service) logRequest(path string, status int, outcome string, res *Resolved, req RunRequest, errMsg string, dur time.Duration) {
+	if s.cfg.Log == nil {
+		return
+	}
+	entry := accessLog{
+		Time:     time.Now().UTC().Format(time.RFC3339Nano),
+		Path:     path,
+		Status:   status,
+		Outcome:  outcome,
+		Workload: req.Workload,
+		Config:   req.Config,
+		Scale:    req.Scale,
+		DurMS:    float64(dur) / float64(time.Millisecond),
+		Error:    errMsg,
+	}
+	if res != nil {
+		entry.Key = res.Key[:12]
+	}
+	line, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	_, _ = s.cfg.Log.Write(append(line, '\n'))
+	s.logMu.Unlock()
+}

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds) of the run-latency
+// histogram; a final +Inf bucket catches the rest.
+var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// metrics is the service's counter set. Counters are monotonic; gauges
+// (queue depth, in-flight runs) are sampled from the live admission
+// state at render time.
+type metrics struct {
+	mu sync.Mutex
+
+	requests         uint64 // simulation requests accepted for processing
+	singleflightHits uint64 // requests served by attaching to an in-flight run
+	runsStarted      uint64 // backing simulations launched
+	runsCompleted    uint64 // backing simulations that produced a result
+	runErrors        uint64 // backing simulations that failed
+	rejectedInvalid  uint64 // 400s: malformed or unresolvable requests
+	rejectedQueue    uint64 // 429s: admission queue full
+	rejectedDraining uint64 // 503s: refused because the service is draining
+	timeouts         uint64 // 504s: request deadline expired while waiting
+
+	latencyCounts [14]uint64 // len(latencyBucketsMS)+1, last is +Inf
+	latencySumMS  float64
+	latencyN      uint64
+}
+
+func (m *metrics) inc(field *uint64) {
+	m.mu.Lock()
+	*field++
+	m.mu.Unlock()
+}
+
+// observeRun records one backing-simulation latency.
+func (m *metrics) observeRun(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := 0
+	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
+		i++
+	}
+	m.latencyCounts[i]++
+	m.latencySumMS += ms
+	m.latencyN++
+}
+
+// Snapshot is a point-in-time view of every service counter, for tests
+// and for the /metrics rendering.
+type Snapshot struct {
+	Requests         uint64
+	CacheHits        uint64
+	CacheMisses      uint64
+	CacheEntries     int
+	CacheBytes       int64
+	CacheEvictions   uint64
+	SingleflightHits uint64
+	RunsStarted      uint64
+	RunsCompleted    uint64
+	RunErrors        uint64
+	RejectedInvalid  uint64
+	RejectedQueue    uint64
+	RejectedDraining uint64
+	Timeouts         uint64
+	QueueDepth       int64
+	RunsInflight     int64
+}
+
+// render emits the Prometheus-style text exposition of the snapshot plus
+// the latency histogram.
+func (m *metrics) render(b *strings.Builder, s Snapshot) {
+	counter := func(name string, v uint64) {
+		fmt.Fprintf(b, "vcached_%s %d\n", name, v)
+	}
+	counter("requests_total", s.Requests)
+	counter("cache_hits_total", s.CacheHits)
+	counter("cache_misses_total", s.CacheMisses)
+	counter("cache_evictions_total", s.CacheEvictions)
+	fmt.Fprintf(b, "vcached_cache_entries %d\n", s.CacheEntries)
+	fmt.Fprintf(b, "vcached_cache_bytes %d\n", s.CacheBytes)
+	counter("singleflight_hits_total", s.SingleflightHits)
+	counter("runs_started_total", s.RunsStarted)
+	counter("runs_completed_total", s.RunsCompleted)
+	counter("run_errors_total", s.RunErrors)
+	counter("rejected_invalid_total", s.RejectedInvalid)
+	counter("rejected_queue_full_total", s.RejectedQueue)
+	counter("rejected_draining_total", s.RejectedDraining)
+	counter("request_timeouts_total", s.Timeouts)
+	fmt.Fprintf(b, "vcached_queue_depth %d\n", s.QueueDepth)
+	fmt.Fprintf(b, "vcached_runs_inflight %d\n", s.RunsInflight)
+
+	m.mu.Lock()
+	counts, sum, n := m.latencyCounts, m.latencySumMS, m.latencyN
+	m.mu.Unlock()
+	cum := uint64(0)
+	for i, le := range latencyBucketsMS {
+		cum += counts[i]
+		fmt.Fprintf(b, "vcached_run_latency_ms_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	cum += counts[len(latencyBucketsMS)]
+	fmt.Fprintf(b, "vcached_run_latency_ms_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(b, "vcached_run_latency_ms_sum %.3f\n", sum)
+	fmt.Fprintf(b, "vcached_run_latency_ms_count %d\n", n)
+}

@@ -1,0 +1,52 @@
+package service
+
+import "sync"
+
+// flightGroup deduplicates concurrent work by key: however many requests
+// arrive for one key while its simulation is in flight, exactly one
+// backing run executes and every request attaches to its outcome. (A
+// minimal single-purpose take on the classic singleflight pattern; the
+// container deliberately carries no third-party dependencies.)
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// call is one in-flight computation. body and err are written exactly
+// once, before done is closed; readers wait on done first, so the close
+// is the publication barrier.
+type call struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*call)}
+}
+
+// join returns the call for key. owner reports whether this caller
+// created it — the owner is responsible for executing the work and
+// calling finish; everyone else just waits on call.done.
+func (g *flightGroup) join(key string) (c *call, owner bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c, false
+	}
+	c = &call{done: make(chan struct{})}
+	g.m[key] = c
+	return c, true
+}
+
+// finish publishes the outcome and releases the key. The owner must
+// already have stored a successful body in the result cache: the cache
+// insert happens before the key leaves the flight map, so at every
+// instant a request for a completed key finds it in one of the two.
+func (g *flightGroup) finish(key string, c *call, body []byte, err error) {
+	c.body, c.err = body, err
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+}

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"vcache/internal/harness"
+	"vcache/internal/kernel"
+	"vcache/internal/policy"
+	"vcache/internal/sim"
+	"vcache/internal/workload"
+)
+
+// RunRequest is the wire form of one simulation request: which benchmark,
+// under which consistency configuration, at what scale, with optional
+// machine overrides. Zero-valued optional fields take defaults (scale
+// 1.0, one CPU, the HP 720 memory size and timing profile).
+type RunRequest struct {
+	Workload string  `json:"workload"`
+	Config   string  `json:"config"`
+	Scale    float64 `json:"scale,omitempty"`
+	CPUs     int     `json:"cpus,omitempty"`
+	// Frames overrides physical memory size (4 KiB frames); 0 keeps the
+	// kernel default.
+	Frames int `json:"frames,omitempty"`
+	// Timing overrides individual cycle costs of the machine profile
+	// (the Section 5.1 what-if knobs).
+	Timing *TimingOverride `json:"timing,omitempty"`
+	// TimeoutMS bounds how long this request waits for its result
+	// (queueing included). It is part of the request, not of the
+	// simulation: two requests differing only in TimeoutMS are the same
+	// cached content. 0 takes the service default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// TimingOverride adjusts individual cycle costs; nil fields keep the
+// HP 720 profile's values.
+type TimingOverride struct {
+	LineFlushHit    *uint64 `json:"line_flush_hit,omitempty"`
+	LineFlushMiss   *uint64 `json:"line_flush_miss,omitempty"`
+	LinePurgeHit    *uint64 `json:"line_purge_hit,omitempty"`
+	LinePurgeMiss   *uint64 `json:"line_purge_miss,omitempty"`
+	ICachePagePurge *uint64 `json:"icache_page_purge,omitempty"`
+}
+
+// canonical is the fully resolved simulation content a request denotes:
+// every default applied, every override folded into the effective
+// machine configuration. Two requests that resolve to the same canonical
+// value are the same simulation — the content-addressed cache keys on a
+// hash of this struct, so `{"timing":null}` and a timing override that
+// spells out the default cost hash identically.
+type canonical struct {
+	Workload string     `json:"workload"`
+	Config   string     `json:"config"`
+	Scale    float64    `json:"scale"`
+	CPUs     int        `json:"cpus"`
+	Frames   int        `json:"frames"`
+	Timing   sim.Timing `json:"timing"`
+}
+
+// Resolved is a validated request bound to its runnable harness.Spec and
+// content-address key.
+type Resolved struct {
+	Req  RunRequest
+	Key  string
+	Spec harness.Spec
+}
+
+// Resolve validates a request and binds it to its workload,
+// configuration, effective kernel configuration, and content-address
+// key. All validation errors are reported here, before any simulation
+// state exists.
+func Resolve(req RunRequest) (*Resolved, error) {
+	if req.Workload == "" {
+		return nil, fmt.Errorf("missing workload (one of: %s)", workloadNames())
+	}
+	w, err := workload.ByName(req.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("unknown workload %q (one of: %s)", req.Workload, workloadNames())
+	}
+	if req.Config == "" {
+		return nil, fmt.Errorf("missing config (A..F, CMU, Utah, Tut, Apollo, Sun)")
+	}
+	cfg, err := policy.ByLabel(req.Config)
+	if err != nil {
+		return nil, fmt.Errorf("unknown config %q (A..F, CMU, Utah, Tut, Apollo, Sun)", req.Config)
+	}
+	scale := req.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	if scale < 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return nil, fmt.Errorf("scale must be a positive number, got %v", req.Scale)
+	}
+	cpus := req.CPUs
+	if cpus == 0 {
+		cpus = 1
+	}
+	if cpus < 1 {
+		return nil, fmt.Errorf("cpus must be >= 1, got %d", req.CPUs)
+	}
+	if req.Frames < 0 {
+		return nil, fmt.Errorf("frames must be >= 0, got %d", req.Frames)
+	}
+	if req.TimeoutMS < 0 {
+		return nil, fmt.Errorf("timeout_ms must be >= 0, got %d", req.TimeoutMS)
+	}
+
+	kc := kernel.DefaultConfig(cfg)
+	kc.Machine.CPUs = cpus
+	if req.Frames > 0 {
+		kc.Machine.Frames = req.Frames
+	}
+	if t := req.Timing; t != nil {
+		applyOverride(&kc.Machine.Timing.LineFlushHit, t.LineFlushHit)
+		applyOverride(&kc.Machine.Timing.LineFlushMiss, t.LineFlushMiss)
+		applyOverride(&kc.Machine.Timing.LinePurgeHit, t.LinePurgeHit)
+		applyOverride(&kc.Machine.Timing.LinePurgeMiss, t.LinePurgeMiss)
+		applyOverride(&kc.Machine.Timing.ICachePagePurge, t.ICachePagePurge)
+	}
+
+	key, err := contentKey(canonical{
+		Workload: w.Name,
+		Config:   cfg.Label,
+		Scale:    scale,
+		CPUs:     cpus,
+		Frames:   kc.Machine.Frames,
+		Timing:   kc.Machine.Timing,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Resolved{
+		Req: req,
+		Key: key,
+		Spec: harness.Spec{
+			Workload: w,
+			Config:   cfg,
+			Scale:    workload.Scale{Name: "service", Factor: scale},
+			Kernel:   &kc,
+		},
+	}, nil
+}
+
+func applyOverride(dst *uint64, v *uint64) {
+	if v != nil {
+		*dst = *v
+	}
+}
+
+// contentKey hashes the canonical simulation content. JSON of a struct
+// is deterministic (fixed field order), so the hash is stable across
+// processes and restarts.
+func contentKey(c canonical) (string, error) {
+	b, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("canonicalize request: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+func workloadNames() string {
+	var names []string
+	for _, w := range workload.Benchmarks() {
+		names = append(names, w.Name)
+	}
+	return strings.Join(names, ", ")
+}
