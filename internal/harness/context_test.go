@@ -113,3 +113,115 @@ func TestRunContextCancelSkipsRemaining(t *testing.T) {
 		}
 	}
 }
+
+// TestRunContextCancelledLargePlanSettles: a cancelled context settles a
+// large plan without running, or even starting, a single entry — the
+// feeder short-circuits instead of round-tripping every index through a
+// worker — while preserving the per-entry RunError contract: one
+// outcome per entry, in plan order, each unwrapping to context.Canceled,
+// with OnDone delivered exactly once per entry and OnStart never.
+func TestRunContextCancelledLargePlanSettles(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	const n = 5000
+	ran := make([]bool, n)
+	var plan harness.Plan
+	for i := 0; i < n; i++ {
+		i := i
+		plan = append(plan, harness.Spec{
+			Workload: harness.Workload{
+				Name: "never-runs",
+				Run: func(k *kernel.Kernel, s harness.Scale) error {
+					ran[i] = true
+					return nil
+				},
+			},
+			Config: policy.New(),
+			Scale:  workload.Small(),
+		})
+	}
+	var started, done int
+	doneFor := make([]int, n)
+	r := &harness.Runner{
+		Workers: 8,
+		OnStart: func(index int, s harness.Spec) { started++ },
+		// Hooks are serialized by the runner, so plain increments are safe.
+		OnDone: func(o harness.Outcome) { done++; doneFor[o.Index]++ },
+	}
+	outs := r.RunContext(ctx, plan)
+	if len(outs) != n {
+		t.Fatalf("got %d outcomes, want %d", len(outs), n)
+	}
+	for i, o := range outs {
+		if o.Index != i {
+			t.Fatalf("outcome %d has Index %d: plan order broken", i, o.Index)
+		}
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Fatalf("entry %d: error %v, want context.Canceled", i, o.Err)
+		}
+		if ran[i] {
+			t.Fatalf("entry %d ran under a cancelled context", i)
+		}
+		if doneFor[i] != 1 {
+			t.Fatalf("entry %d: OnDone fired %d times, want 1", i, doneFor[i])
+		}
+	}
+	if started != 0 {
+		t.Errorf("OnStart fired %d times under a cancelled context, want 0", started)
+	}
+	if done != n {
+		t.Errorf("OnDone fired %d times, want %d", done, n)
+	}
+}
+
+// TestRunContextMidPlanCancelOutcomes: cancelling partway through a
+// fanned-out plan leaves every entry with a well-formed outcome — a
+// clean Result for entries that completed, a context.Canceled RunError
+// for the rest — with OnDone delivered exactly once per entry whether
+// the entry was cut off in a worker or settled by the feeder.
+func TestRunContextMidPlanCancelOutcomes(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 200
+	var plan harness.Plan
+	for i := 0; i < n; i++ {
+		i := i
+		plan = append(plan, harness.Spec{
+			Workload: harness.Workload{
+				Name: "cancel-at-ten",
+				Run: func(k *kernel.Kernel, s harness.Scale) error {
+					if i == 10 {
+						cancel()
+					}
+					return nil
+				},
+			},
+			Config: policy.New(),
+			Scale:  workload.Small(),
+		})
+	}
+	doneFor := make([]int, n)
+	r := &harness.Runner{
+		Workers: 4,
+		OnDone:  func(o harness.Outcome) { doneFor[o.Index]++ },
+	}
+	outs := r.RunContext(ctx, plan)
+	cancelled := 0
+	for i, o := range outs {
+		if o.Index != i {
+			t.Fatalf("outcome %d has Index %d: plan order broken", i, o.Index)
+		}
+		if o.Err != nil {
+			if !errors.Is(o.Err, context.Canceled) {
+				t.Fatalf("entry %d: error %v, want context.Canceled or success", i, o.Err)
+			}
+			cancelled++
+		}
+		if doneFor[i] != 1 {
+			t.Fatalf("entry %d: OnDone fired %d times, want 1", i, doneFor[i])
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no entry was cancelled: the cancellation never bit")
+	}
+}

@@ -118,23 +118,48 @@ func (r *Runner) RunContext(ctx context.Context, p Plan) []Outcome {
 			}
 		}()
 	}
+	// Feed until the plan is exhausted or the context dies. On
+	// cancellation the unfed tail is settled right here instead of being
+	// round-tripped through the workers one entry at a time — for a large
+	// plan that is the difference between returning immediately and
+	// draining thousands of handoffs — with outcomes identical to the
+	// ones runOne produces for a cancelled entry, in plan order.
+	fed := len(p)
 	for i := range p {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			fed = i
+		}
+		if fed < len(p) {
+			break
+		}
 	}
 	close(idx)
 	wg.Wait()
+	for i := fed; i < len(p); i++ {
+		out[i] = r.skipped(i, p[i], ctx.Err())
+	}
 	return out
+}
+
+// skipped settles one plan entry that was never run because the context
+// was cancelled. The outcome shape (and the OnDone delivery) is exactly
+// what runOne produces when it observes the cancellation itself, so
+// callers cannot tell where an entry was cut off.
+func (r *Runner) skipped(i int, s Spec, err error) Outcome {
+	o := Outcome{Index: i, Spec: s, Err: &RunError{Index: i, Spec: s, Err: err}}
+	if r.OnDone != nil {
+		r.hookMu.Lock()
+		r.OnDone(o)
+		r.hookMu.Unlock()
+	}
+	return o
 }
 
 func (r *Runner) runOne(ctx context.Context, i int, s Spec) Outcome {
 	if err := ctx.Err(); err != nil {
-		o := Outcome{Index: i, Spec: s, Err: &RunError{Index: i, Spec: s, Err: err}}
-		if r.OnDone != nil {
-			r.hookMu.Lock()
-			r.OnDone(o)
-			r.hookMu.Unlock()
-		}
-		return o
+		return r.skipped(i, s, err)
 	}
 	if r.OnStart != nil {
 		r.hookMu.Lock()

@@ -1,0 +1,105 @@
+package machine
+
+import (
+	"vcache/internal/arch"
+)
+
+// Bulk page paths. BulkZeroPage and BulkCopyPage are the machine-level
+// halves of the pmap's zero-fill and page-copy fast paths. Both follow
+// the same shape:
+//
+//   - the first word goes through the full Read/Write pipeline, which
+//     resolves the consistency faults of a fresh window mapping, refills
+//     the TLB, and charges exactly what the reference loop's first
+//     iteration charges;
+//   - the remaining words are then modeled in bulk: TouchRepeat accounts
+//     the TLB hits the loop would score, and the cache's Bulk*Tail
+//     methods reproduce the per-line hit/miss/write-back behavior.
+//
+// The result is observation-identical to the word loop — same Result
+// bytes, same cache/TLB statistics, same memory images — whenever the
+// guards hold: no oracle (it records every word), a single CPU (snoops
+// fire per word), a write-back virtually indexed data cache (see
+// cache.CanBulk), and a cacheable translation. When a guard fails the
+// methods return the number of words already performed (0 or 1) and the
+// caller finishes with the reference loop, so oracle mode, traced runs,
+// multiprocessor runs, and the cache variants keep the exact slow path.
+
+// canBulkData reports whether the machine-level bulk data paths apply.
+func (m *Machine) canBulkData() bool {
+	return !m.noFast && m.Oracle == nil && len(m.cpus) == 1 && m.cpus[0].DCache.CanBulk()
+}
+
+// BulkZeroPage zero-fills the page mapped at (space, base), base
+// page-aligned. It returns how many words were performed: 0 (guards
+// failed, caller runs the full loop), 1 (the translation turned out
+// uncacheable after the first word), or the full page. An error is the
+// same error the reference loop's first store would have returned.
+func (m *Machine) BulkZeroPage(space arch.SpaceID, base arch.VA) (uint64, error) {
+	if !m.canBulkData() {
+		return 0, nil
+	}
+	if err := m.Write(space, base, 0); err != nil {
+		return 1, err
+	}
+	cpu := m.cpu()
+	vpn := m.Geom.PageOf(base)
+	e, ok := cpu.TLB.Peek(space, vpn)
+	if !ok || e.Uncached {
+		return 1, nil
+	}
+	words := m.Geom.WordsPerPage()
+	rest := words - 1
+	m.stats.Writes += rest
+	cpu.TLB.TouchRepeat(space, vpn, rest)
+	cpu.DCache.BulkZeroTail(base, m.Geom.Translate(base, e.PFN), words)
+	return words, nil
+}
+
+// BulkCopyPage copies the page mapped at (space, sbase) to the one at
+// (space, dbase), both page-aligned. The return convention matches
+// BulkZeroPage: the word count performed, and the error (if any) the
+// reference loop's first iteration would have produced. It falls back
+// after one word when either translation is uncacheable or the two
+// pages share a cache color (the word-interleaved reference order then
+// thrashes one set in a way a bulk pass cannot reproduce; the window
+// allocator never hands out same-color pairs, but identity is re-checked
+// here rather than assumed).
+func (m *Machine) BulkCopyPage(space arch.SpaceID, sbase, dbase arch.VA) (uint64, error) {
+	if !m.canBulkData() {
+		return 0, nil
+	}
+	v, err := m.Read(space, sbase)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Write(space, dbase, v); err != nil {
+		return 1, err
+	}
+	cpu := m.cpu()
+	svpn := m.Geom.PageOf(sbase)
+	dvpn := m.Geom.PageOf(dbase)
+	se, sok := cpu.TLB.Peek(space, svpn)
+	de, dok := cpu.TLB.Peek(space, dvpn)
+	if !sok || !dok || se.Uncached || de.Uncached {
+		return 1, nil
+	}
+	colors := cpu.DCache.CachePages()
+	if (uint64(sbase)/m.Geom.PageSize)%colors == (uint64(dbase)/m.Geom.PageSize)%colors {
+		return 1, nil
+	}
+	words := m.Geom.WordsPerPage()
+	rest := words - 1
+	m.stats.Reads += rest
+	m.stats.Writes += rest
+	// The reference loop alternates source and destination TLB hits.
+	// Batching them per page preserves every observable: the hit and
+	// tick totals are the same, and the final LRU stamps keep the same
+	// relative order (source older than destination, both newer than
+	// everything else) as the interleaved stamps they replace.
+	cpu.TLB.TouchRepeat(space, svpn, rest)
+	cpu.TLB.TouchRepeat(space, dvpn, rest)
+	cpu.DCache.BulkCopyTail(sbase, m.Geom.Translate(sbase, se.PFN),
+		dbase, m.Geom.Translate(dbase, de.PFN), words)
+	return words, nil
+}

@@ -116,6 +116,17 @@ type CPU struct {
 	DCache *cache.Cache
 	ICache *cache.Cache
 	TLB    *tlb.TLB
+
+	// lastSpace/lastVPN/lastOK are the CPU's one-entry micro-TLB: the
+	// page of the most recent successful translation. A matching access
+	// probes the TLB with Touch (bookkeeping-identical to a Lookup hit)
+	// instead of the full map path. The key is only a hint — Touch
+	// re-verifies residency, so a stale hint costs one probe and is
+	// never a correctness problem, and the hint never needs explicit
+	// invalidation.
+	lastSpace arch.SpaceID
+	lastVPN   arch.VPN
+	lastOK    bool
 }
 
 // Machine is the simulated hardware. It is not safe for concurrent use;
@@ -143,6 +154,11 @@ type Machine struct {
 	// maxRetries bounds the fault-retry loop so kernel bugs surface as
 	// errors instead of livelock.
 	maxRetries int
+
+	// noFast disables the micro-TLB probe and the bulk page paths, for
+	// benchmarking the overhead they remove and for identity tests that
+	// pit the fast paths against the word-at-a-time reference.
+	noFast bool
 }
 
 // Config sizes a machine.
@@ -164,6 +180,11 @@ type Config struct {
 	ICachePerLinePurge bool
 	WithOracle         bool
 	Timing             sim.Timing
+	// DisableFastPaths forces every access through the word-at-a-time
+	// reference pipeline (no micro-TLB probe, no bulk zero/copy/DMA
+	// paths). The fast paths are observation-identical, so this exists
+	// only for benchmarking them and for the identity tests proving it.
+	DisableFastPaths bool
 }
 
 // DefaultConfig returns an HP 720-shaped machine with the oracle enabled.
@@ -205,6 +226,7 @@ func New(cfg Config) (*Machine, error) {
 		Mem:        pm,
 		Clock:      clock,
 		maxRetries: 16,
+		noFast:     cfg.DisableFastPaths,
 	}
 	for i := 0; i < cfg.CPUs; i++ {
 		dc, err := cache.New(cache.Config{
@@ -342,7 +364,24 @@ func (m *Machine) translate(space arch.SpaceID, va arch.VA, acc Access) (arch.PA
 	}
 	vpn := m.Geom.PageOf(va)
 	for try := 0; try <= m.maxRetries; try++ {
-		e, ok := m.cpu().TLB.Lookup(space, vpn, m.walker)
+		// Re-resolve the CPU each retry: the fault handler may context
+		// switch.
+		cpu := m.cpu()
+		var e tlb.Entry
+		ok := false
+		// Micro-TLB: when this CPU's last translation was for the same
+		// page, probe the TLB with Touch — bookkeeping-identical to a
+		// Lookup hit — skipping the map lookup that straight-line page
+		// loops would otherwise pay on every access. A failed probe
+		// (entry since evicted or shot down) falls through to the full
+		// Lookup, whose miss handling is then identical to the path
+		// without the probe.
+		if try == 0 && !m.noFast && cpu.lastOK && cpu.lastSpace == space && cpu.lastVPN == vpn {
+			e, ok = cpu.TLB.Touch(space, vpn)
+		}
+		if !ok {
+			e, ok = cpu.TLB.Lookup(space, vpn, m.walker)
+		}
 		var kind FaultKind
 		switch {
 		case !ok:
@@ -354,6 +393,7 @@ func (m *Machine) translate(space arch.SpaceID, va arch.VA, acc Access) (arch.PA
 		case acc == AccessWrite && e.NeedModTrap:
 			kind = FaultModify
 		default:
+			cpu.lastSpace, cpu.lastVPN, cpu.lastOK = space, vpn, true
 			return m.Geom.Translate(va, e.PFN), e.Uncached, nil
 		}
 		f := Fault{Space: space, VA: va, Access: acc, Kind: kind}
@@ -434,6 +474,12 @@ func (m *Machine) DMAWrite(pa arch.PA, data []uint64) {
 	m.stats.DMAWords += uint64(len(data))
 	t := m.Clock.Timing()
 	m.Clock.Charge(sim.CatDMA, t.DMASetup+t.DMAPerWord*uint64(len(data)))
+	if m.Oracle == nil && !m.noFast {
+		// The cycle charge above is already closed-form; with no oracle
+		// recording each word, the transfer is a straight memory move.
+		m.Mem.WriteWords(pa, data)
+		return
+	}
 	for i, v := range data {
 		addr := pa + arch.PA(i*arch.WordSize)
 		m.Oracle.RecordWrite(addr, v)
@@ -449,6 +495,10 @@ func (m *Machine) DMARead(pa arch.PA, n int) []uint64 {
 	t := m.Clock.Timing()
 	m.Clock.Charge(sim.CatDMA, t.DMASetup+t.DMAPerWord*uint64(n))
 	out := make([]uint64, n)
+	if m.Oracle == nil && !m.noFast {
+		m.Mem.ReadWords(pa, out)
+		return out
+	}
 	for i := range out {
 		addr := pa + arch.PA(i*arch.WordSize)
 		out[i] = m.Mem.ReadWord(addr)

@@ -73,3 +73,16 @@ func (m *Memory) WriteLine(pa arch.PA, src []uint64) {
 	base := m.wordIndex(pa)
 	copy(m.words[base:base+uint64(len(src))], src)
 }
+
+// ReadWords copies len(dst) consecutive words starting at pa into dst —
+// the bulk DMA path's word loop as one slice copy.
+func (m *Memory) ReadWords(pa arch.PA, dst []uint64) {
+	base := m.wordIndex(pa)
+	copy(dst, m.words[base:base+uint64(len(dst))])
+}
+
+// WriteWords stores src at consecutive words starting at pa.
+func (m *Memory) WriteWords(pa arch.PA, src []uint64) {
+	base := m.wordIndex(pa)
+	copy(m.words[base:base+uint64(len(src))], src)
+}

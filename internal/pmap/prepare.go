@@ -32,6 +32,17 @@ type windowPool struct {
 
 func newWindowPool(geom arch.Geometry) *windowPool {
 	n := geom.DCachePages()
+	// release recovers a window's color from its VPN offset relative to
+	// windowBaseVPN; windows are laid out at base + slot*ncolors + color,
+	// so the recovery is exact for any base. The historical shortcut of
+	// reducing the raw VPN additionally requires the base itself to be
+	// color-aligned — keep that invariant checked so a future geometry
+	// (or base move) that breaks it fails loudly instead of silently
+	// corrupting the pool.
+	if uint64(windowBaseVPN)%n != 0 {
+		panic(fmt.Sprintf("pmap: window base %#x not aligned to %d cache colors",
+			uint64(windowBaseVPN), n))
+	}
 	wp := &windowPool{ncolors: n, free: make([][]arch.VPN, n)}
 	for c := uint64(0); c < n; c++ {
 		for s := uint64(0); s < windowSlotsPerColor; s++ {
@@ -52,7 +63,7 @@ func (wp *windowPool) acquire(c arch.CachePage) arch.VPN {
 }
 
 func (wp *windowPool) release(vpn arch.VPN) {
-	c := uint64(vpn) % wp.ncolors
+	c := uint64(vpn-windowBaseVPN) % wp.ncolors
 	wp.free[c] = append(wp.free[c], vpn)
 }
 
@@ -165,7 +176,21 @@ func (p *Pmap) ZeroPage(f arch.PFN, eventualVPN arch.VPN) error {
 	p.emit(trace.EvPrepare, f, arch.NoCachePage, "zero")
 	wvpn := p.prepareWrite(f, p.prepColor(eventualVPN))
 	base := p.geom.PageBase(wvpn)
-	for i := uint64(0); i < p.geom.WordsPerPage(); i++ {
+	// Fast path: the consistency work is already hoisted (prepareWrite
+	// ran CacheControl once for the whole page), so the word loop is
+	// pure data movement the machine can perform in bulk. Traced runs
+	// and uncached frames keep the reference loop; the machine applies
+	// its own guards (oracle, CPU count, cache variant) and reports how
+	// much it handled.
+	start := uint64(0)
+	if p.tracer == nil && !p.phys[f].uncached {
+		n, err := p.m.BulkZeroPage(arch.KernelSpace, base)
+		if err != nil {
+			return fmt.Errorf("pmap: zero-fill frame %d: %w", f, err)
+		}
+		start = n
+	}
+	for i := start; i < p.geom.WordsPerPage(); i++ {
 		if err := p.m.Write(arch.KernelSpace, base+arch.VA(i*arch.WordSize), 0); err != nil {
 			return fmt.Errorf("pmap: zero-fill frame %d: %w", f, err)
 		}
@@ -187,7 +212,21 @@ func (p *Pmap) CopyPage(src, dst arch.PFN, eventualVPN arch.VPN) error {
 	dvpn := p.prepareWrite(dst, dstColor)
 	sbase := p.geom.PageBase(svpn)
 	dbase := p.geom.PageBase(dvpn)
-	for i := uint64(0); i < p.geom.WordsPerPage(); i++ {
+	// Fast path, as in ZeroPage: consistency work is done, the loop is
+	// data movement. The machine falls back (returning how many words it
+	// performed) when its guards fail.
+	start := uint64(0)
+	if p.tracer == nil && !p.phys[src].uncached && !p.phys[dst].uncached {
+		n, err := p.m.BulkCopyPage(arch.KernelSpace, sbase, dbase)
+		if err != nil {
+			if n == 0 {
+				return fmt.Errorf("pmap: copy read frame %d: %w", src, err)
+			}
+			return fmt.Errorf("pmap: copy write frame %d: %w", dst, err)
+		}
+		start = n
+	}
+	for i := start; i < p.geom.WordsPerPage(); i++ {
 		off := arch.VA(i * arch.WordSize)
 		v, err := p.m.Read(arch.KernelSpace, sbase+off)
 		if err != nil {

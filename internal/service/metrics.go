@@ -27,7 +27,10 @@ type metrics struct {
 	rejectedDraining uint64 // 503s: refused because the service is draining
 	timeouts         uint64 // 504s: request deadline expired while waiting
 
-	latencyCounts [14]uint64 // len(latencyBucketsMS)+1, last is +Inf
+	// latencyCounts has len(latencyBucketsMS)+1 entries (the last is
+	// +Inf); it is sized from the bucket table on first observation so
+	// the two can never drift apart.
+	latencyCounts []uint64
 	latencySumMS  float64
 	latencyN      uint64
 }
@@ -43,6 +46,9 @@ func (m *metrics) observeRun(d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.latencyCounts == nil {
+		m.latencyCounts = make([]uint64, len(latencyBucketsMS)+1)
+	}
 	i := 0
 	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
 		i++
@@ -97,8 +103,12 @@ func (m *metrics) render(b *strings.Builder, s Snapshot) {
 	fmt.Fprintf(b, "vcached_runs_inflight %d\n", s.RunsInflight)
 
 	m.mu.Lock()
-	counts, sum, n := m.latencyCounts, m.latencySumMS, m.latencyN
+	counts := append([]uint64(nil), m.latencyCounts...)
+	sum, n := m.latencySumMS, m.latencyN
 	m.mu.Unlock()
+	if counts == nil {
+		counts = make([]uint64, len(latencyBucketsMS)+1)
+	}
 	cum := uint64(0)
 	for i, le := range latencyBucketsMS {
 		cum += counts[i]

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// latencyCount extracts vcached_run_latency_ms_count from the rendered
+// metrics text.
+func latencyCount(t *testing.T, text string) uint64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		var n uint64
+		if _, err := fmt.Sscanf(line, "vcached_run_latency_ms_count %d", &n); err == nil {
+			return n
+		}
+	}
+	t.Fatalf("no vcached_run_latency_ms_count in metrics:\n%s", text)
+	return 0
+}
+
+// TestRunErrorDoesNotObserveLatency pins the histogram's contract: only
+// completed runs are observed. A run that fails (here: cancelled by an
+// immediate RunTimeout) increments run_errors_total but must leave
+// vcached_run_latency_ms_count untouched, so the count always agrees
+// with runs_completed_total.
+func TestRunErrorDoesNotObserveLatency(t *testing.T) {
+	svc := New(Config{MaxConcurrent: 1, RunTimeout: time.Nanosecond})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	defer svc.Shutdown(context.Background())
+
+	status, _, body := postRun(t, srv, RunRequest{Workload: "kernel-build", Config: "F", Scale: 0.05})
+	if status == http.StatusOK {
+		t.Fatalf("expected the timed-out run to fail, got 200: %s", body)
+	}
+	snap := svc.Metrics()
+	if snap.RunErrors != 1 || snap.RunsCompleted != 0 {
+		t.Fatalf("expected 1 run error and 0 completions, got %d / %d", snap.RunErrors, snap.RunsCompleted)
+	}
+	if n := latencyCount(t, metricsText(t, srv)); n != 0 {
+		t.Errorf("erroring run moved the latency histogram: count %d, want 0", n)
+	}
+}
+
+// TestCompletedRunObservesLatency is the positive half: one successful
+// run is observed exactly once, visible in both the sum line and the
+// +Inf bucket.
+func TestCompletedRunObservesLatency(t *testing.T) {
+	svc := New(Config{MaxConcurrent: 1})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	defer svc.Shutdown(context.Background())
+
+	status, _, body := postRun(t, srv, RunRequest{Workload: "kernel-build", Config: "F", Scale: 0.05})
+	if status != http.StatusOK {
+		t.Fatalf("run failed: status %d: %s", status, body)
+	}
+	text := metricsText(t, srv)
+	if n := latencyCount(t, text); n != 1 {
+		t.Errorf("latency count %d after one completed run, want 1", n)
+	}
+	if !strings.Contains(text, "vcached_run_latency_ms_bucket{le=\"+Inf\"} 1\n") {
+		t.Errorf("+Inf bucket does not account the completed run:\n%s", text)
+	}
+}
+
+// TestLatencyCountsSizedFromBuckets pins the histogram storage to the
+// bucket table: the counts slice is allocated with exactly one slot per
+// bucket plus the +Inf overflow, so editing latencyBucketsMS can never
+// desynchronize the two (the old fixed-size array could).
+func TestLatencyCountsSizedFromBuckets(t *testing.T) {
+	var m metrics
+	m.observeRun(500 * time.Microsecond)      // first bucket
+	m.observeRun(time.Duration(1<<40) * 1000) // far past the last bound: +Inf
+	if got, want := len(m.latencyCounts), len(latencyBucketsMS)+1; got != want {
+		t.Fatalf("latencyCounts has %d slots, want len(latencyBucketsMS)+1 = %d", got, want)
+	}
+	if m.latencyCounts[0] != 1 {
+		t.Errorf("first bucket count %d, want 1", m.latencyCounts[0])
+	}
+	if m.latencyCounts[len(latencyBucketsMS)] != 1 {
+		t.Errorf("+Inf bucket count %d, want 1", m.latencyCounts[len(latencyBucketsMS)])
+	}
+	// Rendering an untouched metrics value must not panic on the nil
+	// slice and must report an all-zero histogram.
+	var fresh metrics
+	var b strings.Builder
+	fresh.render(&b, Snapshot{})
+	if !strings.Contains(b.String(), "vcached_run_latency_ms_count 0\n") {
+		t.Errorf("fresh metrics render missing zero count:\n%s", b.String())
+	}
+}

@@ -219,7 +219,7 @@ func (s *Service) execute(r *Resolved, c *call) {
 	defer cancel()
 	start := time.Now()
 	out := s.runner.RunContext(runCtx, harness.Plan{r.Spec})[0]
-	s.m.observeRun(time.Since(start))
+	elapsed := time.Since(start)
 	if out.Err != nil {
 		s.m.inc(&s.m.runErrors)
 		s.flight.finish(r.Key, c, nil, out.Err)
@@ -236,6 +236,11 @@ func (s *Service) execute(r *Resolved, c *call) {
 		s.flight.finish(r.Key, c, nil, fmt.Errorf("encode result: %w", err))
 		return
 	}
+	// The latency histogram observes completed runs only: a timed-out or
+	// failed run would otherwise drag the distribution toward whatever
+	// the failure mode's duration happens to be (RunTimeout, mostly) and
+	// make vcached_run_latency_ms_count disagree with runs_completed.
+	s.m.observeRun(elapsed)
 	s.m.inc(&s.m.runsCompleted)
 	// Cache before releasing the flight key: a completed key is always
 	// findable in cache or flight map, never neither.

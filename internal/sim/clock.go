@@ -3,10 +3,14 @@ package sim
 // Clock accumulates simulated CPU cycles, attributed to named categories
 // so that experiment harnesses can decompose elapsed time the way the
 // paper's Table 4 does (cycles spent purging, flushing, faulting, ...).
+//
+// Charge is on the critical path of every simulated access, so the
+// per-category accumulators are a fixed array indexed by Category rather
+// than a map: the category space is small, dense, and closed.
 type Clock struct {
 	timing Timing
 	cycles uint64
-	byCat  map[Category]uint64
+	byCat  [numCategories]uint64
 }
 
 // Category labels where simulated cycles were spent.
@@ -56,7 +60,7 @@ func (c Category) MarshalText() ([]byte, error) { return []byte(c.String()), nil
 
 // NewClock returns a clock charging cycles per the given profile.
 func NewClock(t Timing) *Clock {
-	return &Clock{timing: t, byCat: make(map[Category]uint64, int(numCategories))}
+	return &Clock{timing: t}
 }
 
 // Timing returns the profile the clock was built with.
@@ -71,8 +75,14 @@ func (c *Clock) Charge(cat Category, n uint64) {
 // Cycles returns the total cycles elapsed.
 func (c *Clock) Cycles() uint64 { return c.cycles }
 
-// CyclesIn returns the cycles charged to one category.
-func (c *Clock) CyclesIn(cat Category) uint64 { return c.byCat[cat] }
+// CyclesIn returns the cycles charged to one category. Unknown
+// categories report zero, as the map-based accumulator did.
+func (c *Clock) CyclesIn(cat Category) uint64 {
+	if cat >= numCategories {
+		return 0
+	}
+	return c.byCat[cat]
+}
 
 // Seconds returns the elapsed simulated time in seconds.
 func (c *Clock) Seconds() float64 { return c.timing.Seconds(c.cycles) }
@@ -80,5 +90,5 @@ func (c *Clock) Seconds() float64 { return c.timing.Seconds(c.cycles) }
 // Reset zeroes the clock.
 func (c *Clock) Reset() {
 	c.cycles = 0
-	c.byCat = make(map[Category]uint64, int(numCategories))
+	c.byCat = [numCategories]uint64{}
 }

@@ -63,12 +63,24 @@ type Stats struct {
 
 // TLB is a fully associative, LRU-replaced translation cache.
 // It is not safe for concurrent use.
+//
+// A one-entry last-translation cache (last/lastValid) fronts the map:
+// straight-line page loops hit the same slot on every access, so the
+// common case skips the map lookup entirely. The fast path is pure
+// mechanism — hits through it perform exactly the bookkeeping (tick,
+// stats, LRU stamp) of a map hit.
 type TLB struct {
 	slots []slot
 	index map[key]int
 	clock *sim.Clock
 	tick  uint64
 	stats Stats
+
+	// last is the slot index of the most recent hit or refill;
+	// lastValid gates it. Invalidation clears it unconditionally —
+	// correctness never depends on it being set.
+	last      int
+	lastValid bool
 }
 
 // New returns a TLB with the given number of entries.
@@ -91,9 +103,17 @@ func (t *TLB) Stats() Stats { return t.stats }
 func (t *TLB) Lookup(space arch.SpaceID, vpn arch.VPN, w Walker) (Entry, bool) {
 	t.tick++
 	k := key{space, vpn}
+	if t.lastValid {
+		if s := &t.slots[t.last]; s.valid && s.key == k {
+			t.stats.Hits++
+			s.lru = t.tick
+			return s.entry, true
+		}
+	}
 	if i, hit := t.index[k]; hit {
 		t.stats.Hits++
 		t.slots[i].lru = t.tick
+		t.last, t.lastValid = i, true
 		return t.slots[i].entry, true
 	}
 	t.stats.Misses++
@@ -104,6 +124,69 @@ func (t *TLB) Lookup(space arch.SpaceID, vpn arch.VPN, w Walker) (Entry, bool) {
 	}
 	t.insert(k, e)
 	return e, true
+}
+
+// Touch is the micro-TLB probe: if (space, vpn) is resident it performs
+// the exact bookkeeping of a Lookup hit (tick, hit count, LRU stamp) and
+// returns the entry; if not it does nothing and reports ok=false, and
+// the caller must fall back to a full Lookup (whose miss bookkeeping
+// then matches the slow path exactly). No page-table walk ever happens
+// here, so the referenced bit is untouched — just like a hardware hit.
+func (t *TLB) Touch(space arch.SpaceID, vpn arch.VPN) (Entry, bool) {
+	k := key{space, vpn}
+	var i int
+	if t.lastValid && t.slots[t.last].valid && t.slots[t.last].key == k {
+		i = t.last
+	} else if j, hit := t.index[k]; hit {
+		i = j
+	} else {
+		return Entry{}, false
+	}
+	t.tick++
+	t.stats.Hits++
+	t.slots[i].lru = t.tick
+	t.last, t.lastValid = i, true
+	return t.slots[i].entry, true
+}
+
+// Peek reports the resident translation for (space, vpn) without any
+// bookkeeping at all — no tick, no hit count, no LRU update. The bulk
+// page paths use it to learn the physical frame and cacheability after
+// the first word's full access has refilled the TLB; the accesses they
+// then model in bulk go through TouchRepeat, which does the accounting.
+func (t *TLB) Peek(space arch.SpaceID, vpn arch.VPN) (Entry, bool) {
+	if i, ok := t.index[key{space, vpn}]; ok {
+		return t.slots[i].entry, true
+	}
+	return Entry{}, false
+}
+
+// TouchRepeat records n further hits on a resident translation in one
+// step — the bulk page paths use it for the repeated same-page accesses
+// of a zero or copy loop. It is observably identical to n sequential
+// Lookup hits: tick advances by n, the hit counter by n, and the slot's
+// LRU stamp lands on the final tick (the intermediate stamps of a real
+// loop are each overwritten by the next, so only the last one is ever
+// visible to replacement). Reports false (and does nothing) if the
+// translation is not resident.
+func (t *TLB) TouchRepeat(space arch.SpaceID, vpn arch.VPN, n uint64) bool {
+	if n == 0 {
+		return true
+	}
+	k := key{space, vpn}
+	var i int
+	if t.lastValid && t.slots[t.last].valid && t.slots[t.last].key == k {
+		i = t.last
+	} else if j, hit := t.index[k]; hit {
+		i = j
+	} else {
+		return false
+	}
+	t.tick += n
+	t.stats.Hits += n
+	t.slots[i].lru = t.tick
+	t.last, t.lastValid = i, true
+	return true
 }
 
 func (t *TLB) insert(k key, e Entry) {
@@ -122,6 +205,7 @@ func (t *TLB) insert(k key, e Entry) {
 place:
 	t.slots[victim] = slot{key: k, entry: e, valid: true, lru: t.tick}
 	t.index[k] = victim
+	t.last, t.lastValid = victim, true
 }
 
 // InvalidatePage drops any cached translation for (space, vpn). The pmap
@@ -133,6 +217,9 @@ func (t *TLB) InvalidatePage(space arch.SpaceID, vpn arch.VPN) {
 		t.stats.Shootdowns++
 		t.slots[i].valid = false
 		delete(t.index, k)
+		if t.last == i {
+			t.lastValid = false
+		}
 	}
 }
 
@@ -143,4 +230,5 @@ func (t *TLB) InvalidateAll() {
 		t.slots[i].valid = false
 	}
 	t.index = make(map[key]int, len(t.slots))
+	t.lastValid = false
 }

@@ -53,6 +53,19 @@ func (sys *System) noteResident(obj *Object, idx uint64) {
 	sys.residents = append(sys.residents, residentEntry{obj: obj, idx: idx})
 }
 
+// dropResident removes the queue entry for one page whose frame left
+// its object by a route other than eviction (a sole-owner IPC transfer
+// steals it for a new object). The scan preserves queue order; a page
+// has at most one live entry, so the first match is the only one.
+func (sys *System) dropResident(obj *Object, idx uint64) {
+	for i, e := range sys.residents {
+		if e.obj == obj && e.idx == idx {
+			sys.residents = append(sys.residents[:i], sys.residents[i+1:]...)
+			return
+		}
+	}
+}
+
 // allocFrame allocates a physical frame, evicting pages when memory is
 // exhausted and a swap device is attached.
 func (sys *System) allocFrame(color arch.CachePage) (arch.PFN, error) {

@@ -19,6 +19,16 @@ import (
 // feature it aligns in the cache with the sender's address, so no cache
 // management is needed; without it, first-fit selection applies and the
 // addresses rarely align. It returns the receiver-side VPN.
+//
+// The transfer has move semantics, Mach's out-of-line deallocate case:
+// when the sender is the page's sole owner the frame itself changes
+// hands — no copy, no new allocation. The sender's region stays mapped
+// (its heap is a permanent anonymous region, not a transient buffer),
+// but the moved page is gone from the backing object, exactly as if it
+// had never been touched: a later sender access takes a zero-fill fault
+// and sees a fresh page, fully disconnected from the receiver's. Only
+// when other regions still reference the object (a COW sibling) does
+// the transfer degrade to a copy, leaving every other mapping intact.
 func (sys *System) TransferPage(from *Space, fromVPN arch.VPN, to *Space) (arch.VPN, error) {
 	r := from.regionAt(fromVPN)
 	if r == nil {
@@ -67,9 +77,14 @@ func (sys *System) TransferPage(from *Space, fromVPN arch.VPN, to *Space) (arch.
 		frame = dst
 	} else {
 		// Sole owner: detach from the sender — break the mapping
-		// (lazily or eagerly per policy) and steal the page.
+		// (lazily or eagerly per policy) and steal the page. The page's
+		// slot in the reclamation queue goes with it: the frame will be
+		// requeued under its new object below, and leaving the old entry
+		// behind would pad the clock scan with a dead element until it
+		// happened to come around.
 		sys.pm.Remove(from.ID, fromVPN)
 		delete(obj.pages, idx)
+		sys.dropResident(obj, idx)
 	}
 
 	newObj := sys.NewObject()

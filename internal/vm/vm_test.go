@@ -325,3 +325,53 @@ func TestSharedObjectFreedOnlyOnLastUnmap(t *testing.T) {
 		t.Error("frame not freed on last unmap")
 	}
 }
+
+// TestTransferMoveSemantics pins the Mach move semantics of a
+// sole-owner transfer: the sender's region stays mapped, but the moved
+// page is gone from its object — a later sender touch takes a fresh
+// zero-fill fault and is fully disconnected from the receiver's page in
+// both directions. The stolen frame's reclamation-queue entry moves
+// with it: the old (object, index) slot is dropped eagerly rather than
+// left to pad the clock scan.
+func TestTransferMoveSemantics(t *testing.T) {
+	r := newRig(t, policy.New())
+	a := r.sys.CreateSpace()
+	b := r.sys.CreateSpace()
+	obj := r.sys.NewObject()
+	reg, _ := r.sys.MapObject(a, obj, 0, 1, 0x100, arch.NoCachePage, arch.ProtReadWrite, false, KindAnon)
+	r.write(t, a, reg.Start, 0, 77)
+
+	toVPN, err := r.sys.TransferPage(a, reg.Start, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range r.sys.residents {
+		if e.obj == obj && e.idx == 0 {
+			t.Error("stale residents entry for the transferred page survived the steal")
+		}
+	}
+	if obj.Resident() != 0 {
+		t.Errorf("sender object still holds %d resident pages", obj.Resident())
+	}
+	if a.regionAt(reg.Start) != reg {
+		t.Error("sender heap region must stay mapped after a transfer")
+	}
+	// The sender's later touch zero-fills a fresh page...
+	zf := r.sys.Stats().ZeroFillFaults
+	if got := r.read(t, a, reg.Start, 0); got != 0 {
+		t.Fatalf("sender reads %d from a moved-out page, want a fresh zero page", got)
+	}
+	if r.sys.Stats().ZeroFillFaults != zf+1 {
+		t.Errorf("sender re-touch did not take a zero-fill fault")
+	}
+	// ...that is disconnected from the receiver's page in both directions.
+	r.write(t, a, reg.Start, 0, 88)
+	if got := r.read(t, b, toVPN, 0); got != 77 {
+		t.Fatalf("receiver sees %d after sender re-write, want the moved 77", got)
+	}
+	r.write(t, b, toVPN, 1, 99)
+	if got := r.read(t, a, reg.Start, 1); got != 0 {
+		t.Fatalf("sender sees receiver's post-transfer write: %d", got)
+	}
+	r.check(t)
+}
