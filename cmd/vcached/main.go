@@ -25,6 +25,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +44,8 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-request wait deadline")
 	runTimeout := flag.Duration("run-timeout", 5*time.Minute, "server-side cap on one simulation")
 	maxScale := flag.Float64("max-scale", 0, "reject requests above this scale factor (0 = no cap)")
+	maxBatch := flag.Int("max-batch", 0, "max runs per /batch request (0 = default cap)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof/* and /metrics on this address (empty = disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	quiet := flag.Bool("quiet", false, "suppress the structured per-request log")
 	selftest := flag.Bool("selftest", false, "start an in-process daemon, hammer it with the load generator, and exit")
@@ -62,8 +65,27 @@ func main() {
 		DefaultTimeout: *timeout,
 		RunTimeout:     *runTimeout,
 		MaxScale:       *maxScale,
+		MaxBatch:       *maxBatch,
 		Log:            logW,
 	})
+
+	// The debug surface lives on its own listener so pprof handlers are
+	// never reachable through the public serving address.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/metrics", svc.MetricsHandler())
+		go func() {
+			log.Printf("debug surface on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	if *selftest {
 		if err := runSelftest(svc, *requests, *clients, *hot); err != nil {

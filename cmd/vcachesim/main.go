@@ -14,10 +14,18 @@
 //	vcachesim -workload kernel-build -config F
 //	vcachesim -workload afs-bench -config Sun -scale 0.5
 //	vcachesim -workload latex-paper -config F -json | jq .Seconds
+//	vcachesim -workload kernel-build -config F -trace-json trace.json
+//	vcachesim -workload kernel-build -config F -phases
 //	vcachesim -list
+//
+// -trace-json writes the run's consistency-event ring as structured
+// JSON (the same wire form vcached returns for a traced /run request);
+// -phases prints the wall-clock boot/setup/run/collect breakdown to
+// stderr, leaving stdout byte-identical to an untimed run.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +36,7 @@ import (
 	"vcache/internal/kernel"
 	"vcache/internal/policy"
 	"vcache/internal/sim"
+	"vcache/internal/trace"
 	"vcache/internal/workload"
 )
 
@@ -39,9 +48,14 @@ func main() {
 	factor := flag.Float64("scale", 1.0, "workload scale factor")
 	list := flag.Bool("list", false, "list workloads and configurations")
 	traceN := flag.Int("trace", 0, "print the last N consistency events of the run")
+	traceJSON := flag.String("trace-json", "", `write the structured trace as JSON to this file ("-" = stdout); implies -trace 256 when -trace is unset`)
+	phases := flag.Bool("phases", false, "print the wall-clock phase breakdown (boot/setup/run/collect) to stderr")
 	cpus := flag.Int("cpus", 1, "processor count (Section 3.3 multiprocessor mode)")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
 	flag.Parse()
+	if *traceJSON != "" && *traceN == 0 {
+		*traceN = 256
+	}
 
 	if *list {
 		fmt.Println("workloads:")
@@ -81,7 +95,7 @@ func main() {
 	}
 	kc := kernel.DefaultConfig(cfg)
 	kc.Machine.CPUs = *cpus
-	r, recorder, err := harness.Exec(harness.Spec{
+	r, recorder, ph, err := harness.ExecTimed(context.Background(), harness.Spec{
 		Workload: w,
 		Config:   cfg,
 		Scale:    workload.Scale{Name: "custom", Factor: *factor},
@@ -90,6 +104,11 @@ func main() {
 	})
 	if err != nil {
 		fail(err)
+	}
+	// Phases go to stderr: stdout carries only the (deterministic) result,
+	// so -json output stays byte-identical run to run.
+	if *phases {
+		fmt.Fprintf(os.Stderr, "phases: %v total=%v\n", ph, ph.Total())
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -100,9 +119,14 @@ func main() {
 	} else {
 		printResult(r)
 	}
-	if *traceN > 0 && recorder != nil && !*jsonOut {
+	if *traceN > 0 && recorder != nil && !*jsonOut && *traceJSON == "" {
 		fmt.Printf("\nlast %d consistency events:\n", len(recorder.Events()))
 		if err := recorder.Dump(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *traceJSON != "" {
+		if err := writeTraceJSON(*traceJSON, recorder); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -110,6 +134,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "CONSISTENCY VIOLATIONS: %d stale transfers observed\n", r.OracleViolations)
 		os.Exit(1)
 	}
+}
+
+// writeTraceJSON emits the recorder's structured export — the same wire
+// form the service returns for a traced /run request — to path, or to
+// stdout when path is "-".
+func writeTraceJSON(path string, recorder *trace.Recorder) error {
+	var out *os.File
+	if path == "-" {
+		out = os.Stdout
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recorder.Export())
 }
 
 func printResult(r workload.Result) {

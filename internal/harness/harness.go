@@ -20,6 +20,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"vcache/internal/core"
 	"vcache/internal/dma"
@@ -140,6 +141,32 @@ func (s Spec) kernelConfig() kernel.Config {
 	return kc
 }
 
+// Phases is the wall-clock breakdown of one Exec: where the run's real
+// (host) time went, as opposed to the simulated time the Result
+// reports. Boot covers kernel construction, Setup the workload's input
+// building plus the counter reset, Run the timed phase, and Collect the
+// final counter snapshot.
+//
+// Spans are host time and therefore nondeterministic; they are carried
+// next to the Result (in Outcome.Phases and the ExecTimed return), never
+// inside it, so Result keeps its byte-identical determinism guarantee
+// under DeepEqual and JSON comparison.
+type Phases struct {
+	Boot    time.Duration `json:"boot"`
+	Setup   time.Duration `json:"setup"`
+	Run     time.Duration `json:"run"`
+	Collect time.Duration `json:"collect"`
+}
+
+// Total is the whole-run wall clock.
+func (p Phases) Total() time.Duration {
+	return p.Boot + p.Setup + p.Run + p.Collect
+}
+
+func (p Phases) String() string {
+	return fmt.Sprintf("boot=%v setup=%v run=%v collect=%v", p.Boot, p.Setup, p.Run, p.Collect)
+}
+
 // Exec performs one run: boot a fresh system, perform setup, reset every
 // counter, run the timed phase, and collect the result. The returned
 // recorder is non-nil only when the Spec requested tracing.
@@ -154,31 +181,52 @@ func Exec(s Spec) (Result, *trace.Recorder, error) {
 // errors.Is(err, ctx.Err()) — propagates out exactly like a workload
 // failure.
 func ExecContext(ctx context.Context, s Spec) (Result, *trace.Recorder, error) {
+	r, rec, _, err := ExecTimed(ctx, s)
+	return r, rec, err
+}
+
+// ExecTimed is ExecContext with the wall-clock phase breakdown of the
+// run. On failure the returned Phases still covers the phases that did
+// execute, so an operator can see where a run died spending its time.
+func ExecTimed(ctx context.Context, s Spec) (Result, *trace.Recorder, Phases, error) {
+	var ph Phases
 	if err := ctx.Err(); err != nil {
-		return Result{}, nil, fmt.Errorf("%s/%s: %w", s.Workload.Name, s.Config.Label, err)
+		return Result{}, nil, ph, fmt.Errorf("%s/%s: %w", s.Workload.Name, s.Config.Label, err)
 	}
+	start := time.Now()
 	k, err := kernel.New(s.kernelConfig())
+	ph.Boot = time.Since(start)
 	if err != nil {
-		return Result{}, nil, err
+		return Result{}, nil, ph, err
 	}
 	k.SetInterrupt(ctx.Err)
+	start = time.Now()
 	if s.Workload.Setup != nil {
 		if err := s.Workload.Setup(k, s.Scale); err != nil {
-			return Result{}, nil, fmt.Errorf("%s/%s setup: %w", s.Workload.Name, s.Config.Label, err)
+			ph.Setup = time.Since(start)
+			return Result{}, nil, ph, fmt.Errorf("%s/%s setup: %w", s.Workload.Name, s.Config.Label, err)
 		}
 	}
 	resetAll(k)
+	ph.Setup = time.Since(start)
 	var rec *trace.Recorder
 	if s.TraceN > 0 {
 		rec = trace.NewRecorder(s.TraceN)
 		k.PM.SetTracer(rec)
+		k.M.SetTracer(rec)
 	}
+	start = time.Now()
 	if s.Workload.Run != nil {
 		if err := s.Workload.Run(k, s.Scale); err != nil {
-			return Result{}, nil, fmt.Errorf("%s/%s: %w", s.Workload.Name, s.Config.Label, err)
+			ph.Run = time.Since(start)
+			return Result{}, nil, ph, fmt.Errorf("%s/%s: %w", s.Workload.Name, s.Config.Label, err)
 		}
 	}
-	return Collect(s.Workload.Name, s.Config, k), rec, nil
+	ph.Run = time.Since(start)
+	start = time.Now()
+	res := Collect(s.Workload.Name, s.Config, k)
+	ph.Collect = time.Since(start)
+	return res, rec, ph, nil
 }
 
 // resetAll zeroes every counter in the system so the measured phase

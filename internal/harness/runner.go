@@ -56,12 +56,16 @@ func (e *RunError) Error() string {
 func (e *RunError) Unwrap() error { return e.Err }
 
 // Outcome is the result of one plan entry: either a Result (plus a trace
-// recorder if the Spec asked for one) or a *RunError.
+// recorder if the Spec asked for one) or a *RunError. Phases is the
+// run's wall-clock breakdown; it is observability metadata, not part of
+// the deterministic Result, and is filled (possibly partially) even for
+// failed entries.
 type Outcome struct {
 	Index  int
 	Spec   Spec
 	Result Result
 	Trace  *trace.Recorder
+	Phases Phases
 	Err    error
 }
 
@@ -173,7 +177,8 @@ func (r *Runner) runOne(ctx context.Context, i int, s Spec) Outcome {
 				o.Err = &RunError{Index: i, Spec: s, PanicValue: v, Stack: string(debug.Stack())}
 			}
 		}()
-		res, rec, err := ExecContext(ctx, s)
+		res, rec, ph, err := ExecTimed(ctx, s)
+		o.Phases = ph
 		if err != nil {
 			o.Err = &RunError{Index: i, Spec: s, Err: err}
 			return

@@ -25,6 +25,7 @@ import (
 	"vcache/internal/oracle"
 	"vcache/internal/sim"
 	"vcache/internal/tlb"
+	"vcache/internal/trace"
 )
 
 // Access is the kind of CPU reference that faulted or is being made.
@@ -151,6 +152,12 @@ type Machine struct {
 	handler FaultHandler
 	stats   Stats
 
+	// tracer, when non-nil, receives one EvDMAMove event per device
+	// transfer. Recording is pure observation: it never alters stats,
+	// cycle charges, or which data path a transfer takes, so a traced
+	// run's Result is identical to an untraced one.
+	tracer *trace.Recorder
+
 	// maxRetries bounds the fault-retry loop so kernel bugs surface as
 	// errors instead of livelock.
 	maxRetries int
@@ -267,6 +274,29 @@ func (m *Machine) SetWalker(w tlb.Walker) { m.walker = w }
 
 // SetFaultHandler installs the kernel trap handler.
 func (m *Machine) SetFaultHandler(h FaultHandler) { m.handler = h }
+
+// SetTracer attaches an event recorder to the DMA port (nil turns
+// tracing off). The harness points it at the same recorder as the
+// pmap's tracer, so one ring holds the interleaved consistency-work and
+// data-movement history of a run.
+func (m *Machine) SetTracer(r *trace.Recorder) { m.tracer = r }
+
+// Tracer returns the attached recorder, if any.
+func (m *Machine) Tracer() *trace.Recorder { return m.tracer }
+
+// emitDMA records one device transfer.
+func (m *Machine) emitDMA(pa arch.PA, words int, dir string) {
+	if m.tracer == nil {
+		return
+	}
+	m.tracer.Record(trace.Event{
+		Cycles: m.Clock.Cycles(),
+		Kind:   trace.EvDMAMove,
+		Frame:  m.Geom.FrameOf(pa),
+		Color:  arch.NoCachePage,
+		Note:   fmt.Sprintf("%s %dw", dir, words),
+	})
+}
 
 // Stats returns a snapshot of the machine counters.
 func (m *Machine) Stats() Stats { return m.stats }
@@ -472,6 +502,7 @@ func (m *Machine) Fetch(space arch.SpaceID, va arch.VA) (uint64, error) {
 func (m *Machine) DMAWrite(pa arch.PA, data []uint64) {
 	m.stats.DMAWrites++
 	m.stats.DMAWords += uint64(len(data))
+	m.emitDMA(pa, len(data), "write")
 	t := m.Clock.Timing()
 	m.Clock.Charge(sim.CatDMA, t.DMASetup+t.DMAPerWord*uint64(len(data)))
 	if m.Oracle == nil && !m.noFast {
@@ -492,6 +523,7 @@ func (m *Machine) DMAWrite(pa arch.PA, data []uint64) {
 func (m *Machine) DMARead(pa arch.PA, n int) []uint64 {
 	m.stats.DMAReads++
 	m.stats.DMAWords += uint64(n)
+	m.emitDMA(pa, n, "read")
 	t := m.Clock.Timing()
 	m.Clock.Charge(sim.CatDMA, t.DMASetup+t.DMAPerWord*uint64(n))
 	out := make([]uint64, n)

@@ -25,7 +25,16 @@ type cacheEntry struct {
 	body []byte
 }
 
+// defaultCacheEntries is the fallback capacity when a caller hands the
+// cache a non-positive bound. The eviction loop treats cap<=0 as "never
+// evict", so letting such a value through would grow the cache without
+// bound; an unbounded result store is never a valid configuration.
+const defaultCacheEntries = 512
+
 func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		capacity = defaultCacheEntries
+	}
 	return &resultCache{
 		cap:   capacity,
 		ll:    list.New(),

@@ -31,6 +31,12 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
+// MetricsHandler exposes just the /metrics rendering, for mounting on a
+// separate debug listener alongside net/http/pprof.
+func (s *Service) MetricsHandler() http.Handler {
+	return http.HandlerFunc(s.handleMetrics)
+}
+
 // httpError is the JSON error object every non-2xx response carries.
 type httpError struct {
 	Error string `json:"error"`
@@ -68,36 +74,56 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, "decode request: %v", err)
 		return
 	}
-	body, outcome, res, status, errMsg := s.serveOne(r.Context(), req)
-	if errMsg != "" {
-		s.logRequest("/run", status, outcome, res, req, errMsg, time.Since(start))
-		writeJSONError(w, status, "%s", errMsg)
+	sv := s.serveOne(r.Context(), req)
+	if sv.errMsg != "" {
+		s.logRequest("/run", sv.status, sv.outcome, sv.res, req, sv.errMsg, time.Since(start), sv.phases)
+		writeJSONError(w, sv.status, "%s", sv.errMsg)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Vcache-Key", res.Key)
-	w.Header().Set("X-Vcache-Outcome", outcome)
-	_, _ = w.Write(body)
-	s.logRequest("/run", http.StatusOK, outcome, res, req, "", time.Since(start))
+	w.Header().Set("X-Vcache-Key", sv.res.Key)
+	w.Header().Set("X-Vcache-Outcome", sv.outcome)
+	if ph := sv.phases.header(); ph != "" {
+		w.Header().Set("X-Vcache-Phases", ph)
+	}
+	_, _ = w.Write(sv.body)
+	s.logRequest("/run", http.StatusOK, sv.outcome, sv.res, req, "", time.Since(start), sv.phases)
+}
+
+// served is the outcome of one request through the full serving path.
+type served struct {
+	body    []byte
+	outcome string
+	res     *Resolved
+	status  int
+	errMsg  string
+	phases  *phaseLog
 }
 
 // serveOne runs the full request path for one RunRequest: drain gate,
-// validation, deadline, submit. On failure it returns the HTTP status
-// and error message to serve; on success, the cached body and outcome.
-func (s *Service) serveOne(ctx context.Context, req RunRequest) (body []byte, outcome string, res *Resolved, status int, errMsg string) {
+// validation, deadline, submit. On failure the returned served carries
+// the HTTP status and error message; on success, the response body and
+// outcome. phases always carries at least the resolve span; a request
+// that owned (or attached to) a completed backing run also gets the
+// run's breakdown.
+func (s *Service) serveOne(ctx context.Context, req RunRequest) served {
 	if s.Draining() {
 		s.m.inc(&s.m.rejectedDraining)
-		return nil, "", nil, http.StatusServiceUnavailable, ErrDraining.Error()
+		return served{status: http.StatusServiceUnavailable, errMsg: ErrDraining.Error()}
 	}
+	resolveStart := time.Now()
 	res, err := Resolve(req)
+	ph := &phaseLog{ResolveMS: ms(time.Since(resolveStart))}
 	if err != nil {
 		s.m.inc(&s.m.rejectedInvalid)
-		return nil, "", nil, http.StatusBadRequest, err.Error()
+		return served{status: http.StatusBadRequest, errMsg: err.Error(), phases: ph}
 	}
 	if s.cfg.MaxScale > 0 && res.Spec.Scale.Factor > s.cfg.MaxScale {
 		s.m.inc(&s.m.rejectedInvalid)
-		return nil, "", res, http.StatusBadRequest,
-			fmt.Sprintf("scale %g exceeds the service cap %g", res.Spec.Scale.Factor, s.cfg.MaxScale)
+		return served{
+			res: res, status: http.StatusBadRequest, phases: ph,
+			errMsg: fmt.Sprintf("scale %g exceeds the service cap %g", res.Spec.Scale.Factor, s.cfg.MaxScale),
+		}
 	}
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
@@ -105,11 +131,12 @@ func (s *Service) serveOne(ctx context.Context, req RunRequest) (body []byte, ou
 	}
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
-	body, outcome, err = s.Submit(ctx, res)
+	body, outcome, runPhases, err := s.submit(ctx, res)
+	ph.fill(runPhases)
 	if err != nil {
-		return nil, outcome, res, statusOf(err), err.Error()
+		return served{outcome: outcome, res: res, status: statusOf(err), errMsg: err.Error(), phases: ph}
 	}
-	return body, outcome, res, http.StatusOK, ""
+	return served{body: body, outcome: outcome, res: res, status: http.StatusOK, phases: ph}
 }
 
 // BatchRequest submits a whole plan of runs in one call.
@@ -147,28 +174,61 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
-	// Elements fan out concurrently through the same cache/singleflight/
-	// admission path as /run, so a batch of identical entries costs one
-	// simulation, and a batch wider than the run slots queues rather
-	// than stampeding.
-	resp := BatchResponse{Results: make([]BatchElem, len(req.Runs))}
-	var done sync.WaitGroup
-	for i, rr := range req.Runs {
-		done.Add(1)
-		go func(i int, rr RunRequest) {
-			defer done.Done()
-			body, outcome, _, _, errMsg := s.serveOne(r.Context(), rr)
-			if errMsg != "" {
-				resp.Results[i] = BatchElem{Outcome: outcome, Error: errMsg}
-				return
-			}
-			resp.Results[i] = BatchElem{Outcome: outcome, Run: body}
-		}(i, rr)
+	// Reject oversized batches before any element is admitted: the fan-
+	// out below is bounded by a worker pool, but an unbounded element
+	// count would still buffer an unbounded response in memory.
+	if len(req.Runs) > s.cfg.MaxBatch {
+		s.m.inc(&s.m.rejectedInvalid)
+		writeJSONError(w, http.StatusBadRequest, "batch of %d runs exceeds the %d-run cap", len(req.Runs), s.cfg.MaxBatch)
+		return
 	}
+	// Elements fan out through the same cache/singleflight/admission
+	// path as /run, but through a small worker pool rather than one
+	// goroutine per element: a maximal batch costs a handful of
+	// goroutines, not MaxBatch of them, and admission control sees a
+	// bounded arrival rate. The pool is sized past the run slots so a
+	// batch can still keep every slot busy (and the queue fed).
+	resp := BatchResponse{Results: make([]BatchElem, len(req.Runs))}
+	workers := 2 * s.cfg.MaxConcurrent
+	if workers > len(req.Runs) {
+		workers = len(req.Runs)
+	}
+	idx := make(chan int)
+	var done sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			for i := range idx {
+				sv := s.serveOne(r.Context(), req.Runs[i])
+				if sv.errMsg != "" {
+					resp.Results[i] = BatchElem{Outcome: sv.outcome, Error: sv.errMsg}
+					continue
+				}
+				resp.Results[i] = BatchElem{Outcome: sv.outcome, Run: sv.body}
+			}
+		}()
+	}
+	for i := range req.Runs {
+		idx <- i
+	}
+	close(idx)
 	done.Wait()
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
-	s.logRequest("/batch", http.StatusOK, "", nil, RunRequest{}, "", time.Since(start))
+	// The batch log line aggregates per-element outcomes: the HTTP
+	// status is 200 whenever the batch itself decoded, so without the
+	// ok/err split a fully-failed batch would be indistinguishable from
+	// a clean one in the access log.
+	ok, errs := 0, 0
+	for _, e := range resp.Results {
+		if e.Error != "" {
+			errs++
+		} else {
+			ok++
+		}
+	}
+	s.logBatch(len(req.Runs), ok, errs, time.Since(start))
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -208,21 +268,66 @@ func (s *Service) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(map[string]any{"workloads": ws, "configs": cfgs})
 }
 
-// accessLog is one structured request-log line.
-type accessLog struct {
-	Time     string  `json:"time"`
-	Path     string  `json:"path"`
-	Status   int     `json:"status"`
-	Outcome  string  `json:"outcome,omitempty"`
-	Key      string  `json:"key,omitempty"`
-	Workload string  `json:"workload,omitempty"`
-	Config   string  `json:"config,omitempty"`
-	Scale    float64 `json:"scale,omitempty"`
-	DurMS    float64 `json:"dur_ms"`
-	Error    string  `json:"error,omitempty"`
+// ms converts a duration to float milliseconds for the log.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// phaseLog is the wall-clock phase breakdown attached to an access-log
+// line: where one request's real time went. ResolveMS is per request;
+// the remaining spans describe the backing run and are present only
+// when this request owned or attached to one (a cache hit has no run to
+// time).
+type phaseLog struct {
+	ResolveMS float64 `json:"resolve_ms"`
+	BootMS    float64 `json:"boot_ms,omitempty"`
+	SetupMS   float64 `json:"setup_ms,omitempty"`
+	RunMS     float64 `json:"run_ms,omitempty"`
+	CollectMS float64 `json:"collect_ms,omitempty"`
+	CheckMS   float64 `json:"check_ms,omitempty"`
+	EncodeMS  float64 `json:"encode_ms,omitempty"`
+	hasRun    bool
 }
 
-func (s *Service) logRequest(path string, status int, outcome string, res *Resolved, req RunRequest, errMsg string, dur time.Duration) {
+// fill copies a backing run's phase breakdown into the log entry.
+func (p *phaseLog) fill(rp *RunPhases) {
+	if p == nil || rp == nil {
+		return
+	}
+	p.BootMS = ms(rp.Harness.Boot)
+	p.SetupMS = ms(rp.Harness.Setup)
+	p.RunMS = ms(rp.Harness.Run)
+	p.CollectMS = ms(rp.Harness.Collect)
+	p.CheckMS = ms(rp.Check)
+	p.EncodeMS = ms(rp.Encode)
+	p.hasRun = true
+}
+
+// header renders the breakdown for the X-Vcache-Phases response header;
+// empty when the request was served without a backing run.
+func (p *phaseLog) header() string {
+	if p == nil || !p.hasRun {
+		return ""
+	}
+	return fmt.Sprintf("resolve=%.3fms boot=%.3fms setup=%.3fms run=%.3fms collect=%.3fms check=%.3fms encode=%.3fms",
+		p.ResolveMS, p.BootMS, p.SetupMS, p.RunMS, p.CollectMS, p.CheckMS, p.EncodeMS)
+}
+
+// accessLog is one structured request-log line.
+type accessLog struct {
+	Time     string    `json:"time"`
+	Path     string    `json:"path"`
+	Status   int       `json:"status"`
+	Outcome  string    `json:"outcome,omitempty"`
+	Key      string    `json:"key,omitempty"`
+	Workload string    `json:"workload,omitempty"`
+	Config   string    `json:"config,omitempty"`
+	Scale    float64   `json:"scale,omitempty"`
+	Runs     int       `json:"runs,omitempty"`
+	DurMS    float64   `json:"dur_ms"`
+	Error    string    `json:"error,omitempty"`
+	Phases   *phaseLog `json:"phases,omitempty"`
+}
+
+func (s *Service) logRequest(path string, status int, outcome string, res *Resolved, req RunRequest, errMsg string, dur time.Duration, phases *phaseLog) {
 	if s.cfg.Log == nil {
 		return
 	}
@@ -234,12 +339,33 @@ func (s *Service) logRequest(path string, status int, outcome string, res *Resol
 		Workload: req.Workload,
 		Config:   req.Config,
 		Scale:    req.Scale,
-		DurMS:    float64(dur) / float64(time.Millisecond),
+		DurMS:    ms(dur),
 		Error:    errMsg,
+		Phases:   phases,
 	}
 	if res != nil {
 		entry.Key = res.Key[:12]
 	}
+	s.writeLog(entry)
+}
+
+// logBatch writes the aggregate line for one /batch request: element
+// count plus the ok/err outcome split.
+func (s *Service) logBatch(runs, ok, errs int, dur time.Duration) {
+	if s.cfg.Log == nil {
+		return
+	}
+	s.writeLog(accessLog{
+		Time:    time.Now().UTC().Format(time.RFC3339Nano),
+		Path:    "/batch",
+		Status:  http.StatusOK,
+		Outcome: fmt.Sprintf("ok=%d err=%d", ok, errs),
+		Runs:    runs,
+		DurMS:   ms(dur),
+	})
+}
+
+func (s *Service) writeLog(entry accessLog) {
 	line, err := json.Marshal(entry)
 	if err != nil {
 		return

@@ -2,14 +2,44 @@ package service
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 )
 
 // latencyBucketsMS are the upper bounds (milliseconds) of the run-latency
-// histogram; a final +Inf bucket catches the rest.
+// histograms; a final +Inf bucket catches the rest.
 var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// hist is one latency histogram: cumulative rendering happens at export
+// time, the counts here are per-bucket. counts has
+// len(latencyBucketsMS)+1 entries (the last is +Inf); it is sized from
+// the bucket table on first observation so the two can never drift
+// apart.
+type hist struct {
+	counts []uint64
+	sumMS  float64
+	n      uint64
+}
+
+func (h *hist) observe(ms float64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(latencyBucketsMS)+1)
+	}
+	i := 0
+	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sumMS += ms
+	h.n++
+}
+
+// specKey labels one workload×config histogram series.
+type specKey struct {
+	workload, config string
+}
 
 // metrics is the service's counter set. Counters are monotonic; gauges
 // (queue depth, in-flight runs) are sampled from the live admission
@@ -22,17 +52,17 @@ type metrics struct {
 	runsStarted      uint64 // backing simulations launched
 	runsCompleted    uint64 // backing simulations that produced a result
 	runErrors        uint64 // backing simulations that failed
+	runTimeouts      uint64 // backing simulations cancelled by the server-side RunTimeout
 	rejectedInvalid  uint64 // 400s: malformed or unresolvable requests
 	rejectedQueue    uint64 // 429s: admission queue full
 	rejectedDraining uint64 // 503s: refused because the service is draining
 	timeouts         uint64 // 504s: request deadline expired while waiting
 
-	// latencyCounts has len(latencyBucketsMS)+1 entries (the last is
-	// +Inf); it is sized from the bucket table on first observation so
-	// the two can never drift apart.
-	latencyCounts []uint64
-	latencySumMS  float64
-	latencyN      uint64
+	// latency is the aggregate run-latency histogram; bySpec carries one
+	// histogram per workload×config label pair, so a slow configuration
+	// cannot hide inside the aggregate distribution.
+	latency hist
+	bySpec  map[specKey]*hist
 }
 
 func (m *metrics) inc(field *uint64) {
@@ -41,21 +71,23 @@ func (m *metrics) inc(field *uint64) {
 	m.mu.Unlock()
 }
 
-// observeRun records one backing-simulation latency.
-func (m *metrics) observeRun(d time.Duration) {
+// observeRun records one backing-simulation latency under its
+// workload×config labels.
+func (m *metrics) observeRun(workload, config string, d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.latencyCounts == nil {
-		m.latencyCounts = make([]uint64, len(latencyBucketsMS)+1)
+	m.latency.observe(ms)
+	if m.bySpec == nil {
+		m.bySpec = make(map[specKey]*hist)
 	}
-	i := 0
-	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
-		i++
+	k := specKey{workload: workload, config: config}
+	h := m.bySpec[k]
+	if h == nil {
+		h = &hist{}
+		m.bySpec[k] = h
 	}
-	m.latencyCounts[i]++
-	m.latencySumMS += ms
-	m.latencyN++
+	h.observe(ms)
 }
 
 // Snapshot is a point-in-time view of every service counter, for tests
@@ -71,6 +103,7 @@ type Snapshot struct {
 	RunsStarted      uint64
 	RunsCompleted    uint64
 	RunErrors        uint64
+	RunTimeouts      uint64
 	RejectedInvalid  uint64
 	RejectedQueue    uint64
 	RejectedDraining uint64
@@ -79,8 +112,33 @@ type Snapshot struct {
 	RunsInflight     int64
 }
 
+// renderHist emits one Prometheus-style histogram. labels is the
+// rendered label prefix ("" for the aggregate series, `workload="x",config="y",`
+// for a labeled one); the le label is always appended last.
+func renderHist(b *strings.Builder, name, labels string, h hist) {
+	counts := h.counts
+	if counts == nil {
+		counts = make([]uint64, len(latencyBucketsMS)+1)
+	}
+	cum := uint64(0)
+	for i, le := range latencyBucketsMS {
+		cum += counts[i]
+		fmt.Fprintf(b, "%s_bucket{%sle=\"%g\"} %d\n", name, labels, le, cum)
+	}
+	cum += counts[len(latencyBucketsMS)]
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)
+	if labels == "" {
+		fmt.Fprintf(b, "%s_sum %.3f\n", name, h.sumMS)
+		fmt.Fprintf(b, "%s_count %d\n", name, h.n)
+	} else {
+		trimmed := strings.TrimSuffix(labels, ",")
+		fmt.Fprintf(b, "%s_sum{%s} %.3f\n", name, trimmed, h.sumMS)
+		fmt.Fprintf(b, "%s_count{%s} %d\n", name, trimmed, h.n)
+	}
+}
+
 // render emits the Prometheus-style text exposition of the snapshot plus
-// the latency histogram.
+// the latency histograms (aggregate and per-workload×config).
 func (m *metrics) render(b *strings.Builder, s Snapshot) {
 	counter := func(name string, v uint64) {
 		fmt.Fprintf(b, "vcached_%s %d\n", name, v)
@@ -95,6 +153,7 @@ func (m *metrics) render(b *strings.Builder, s Snapshot) {
 	counter("runs_started_total", s.RunsStarted)
 	counter("runs_completed_total", s.RunsCompleted)
 	counter("run_errors_total", s.RunErrors)
+	counter("run_timeouts_total", s.RunTimeouts)
 	counter("rejected_invalid_total", s.RejectedInvalid)
 	counter("rejected_queue_full_total", s.RejectedQueue)
 	counter("rejected_draining_total", s.RejectedDraining)
@@ -103,19 +162,28 @@ func (m *metrics) render(b *strings.Builder, s Snapshot) {
 	fmt.Fprintf(b, "vcached_runs_inflight %d\n", s.RunsInflight)
 
 	m.mu.Lock()
-	counts := append([]uint64(nil), m.latencyCounts...)
-	sum, n := m.latencySumMS, m.latencyN
+	agg := hist{counts: append([]uint64(nil), m.latency.counts...), sumMS: m.latency.sumMS, n: m.latency.n}
+	keys := make([]specKey, 0, len(m.bySpec))
+	for k := range m.bySpec {
+		keys = append(keys, k)
+	}
+	labeled := make(map[specKey]hist, len(keys))
+	for k, h := range m.bySpec {
+		labeled[k] = hist{counts: append([]uint64(nil), h.counts...), sumMS: h.sumMS, n: h.n}
+	}
 	m.mu.Unlock()
-	if counts == nil {
-		counts = make([]uint64, len(latencyBucketsMS)+1)
+
+	renderHist(b, "vcached_run_latency_ms", "", agg)
+	// Labeled series render in sorted order so the exposition is
+	// deterministic (and diffable) across scrapes.
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].workload != keys[j].workload {
+			return keys[i].workload < keys[j].workload
+		}
+		return keys[i].config < keys[j].config
+	})
+	for _, k := range keys {
+		labels := fmt.Sprintf("workload=%q,config=%q,", k.workload, k.config)
+		renderHist(b, "vcached_spec_run_latency_ms", labels, labeled[k])
 	}
-	cum := uint64(0)
-	for i, le := range latencyBucketsMS {
-		cum += counts[i]
-		fmt.Fprintf(b, "vcached_run_latency_ms_bucket{le=\"%g\"} %d\n", le, cum)
-	}
-	cum += counts[len(latencyBucketsMS)]
-	fmt.Fprintf(b, "vcached_run_latency_ms_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(b, "vcached_run_latency_ms_sum %.3f\n", sum)
-	fmt.Fprintf(b, "vcached_run_latency_ms_count %d\n", n)
 }

@@ -24,27 +24,35 @@ func latencyCount(t *testing.T, text string) uint64 {
 	return 0
 }
 
-// TestRunErrorDoesNotObserveLatency pins the histogram's contract: only
-// completed runs are observed. A run that fails (here: cancelled by an
-// immediate RunTimeout) increments run_errors_total but must leave
-// vcached_run_latency_ms_count untouched, so the count always agrees
-// with runs_completed_total.
-func TestRunErrorDoesNotObserveLatency(t *testing.T) {
+// TestRunTimeoutDoesNotObserveLatency pins the histogram's contract:
+// only completed runs are observed. A run cancelled by an immediate
+// RunTimeout is counted as a timeout — not a generic run error — maps
+// to 504, and must leave vcached_run_latency_ms_count untouched, so the
+// count always agrees with runs_completed_total.
+func TestRunTimeoutDoesNotObserveLatency(t *testing.T) {
 	svc := New(Config{MaxConcurrent: 1, RunTimeout: time.Nanosecond})
 	srv := httptest.NewServer(svc.Handler())
 	defer srv.Close()
 	defer svc.Shutdown(context.Background())
 
 	status, _, body := postRun(t, srv, RunRequest{Workload: "kernel-build", Config: "F", Scale: 0.05})
-	if status == http.StatusOK {
-		t.Fatalf("expected the timed-out run to fail, got 200: %s", body)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("expected 504 for the timed-out run, got %d: %s", status, body)
+	}
+	if !strings.Contains(string(body), "run timeout") && !strings.Contains(string(body), "run exceeded") {
+		t.Errorf("timeout error does not name the run timeout: %s", body)
 	}
 	snap := svc.Metrics()
-	if snap.RunErrors != 1 || snap.RunsCompleted != 0 {
-		t.Fatalf("expected 1 run error and 0 completions, got %d / %d", snap.RunErrors, snap.RunsCompleted)
+	if snap.RunTimeouts != 1 || snap.RunErrors != 0 || snap.RunsCompleted != 0 {
+		t.Fatalf("expected 1 run timeout, 0 errors, 0 completions, got %d / %d / %d",
+			snap.RunTimeouts, snap.RunErrors, snap.RunsCompleted)
 	}
-	if n := latencyCount(t, metricsText(t, srv)); n != 0 {
-		t.Errorf("erroring run moved the latency histogram: count %d, want 0", n)
+	text := metricsText(t, srv)
+	if !strings.Contains(text, "vcached_run_timeouts_total 1\n") {
+		t.Errorf("metrics exposition missing vcached_run_timeouts_total 1:\n%s", text)
+	}
+	if n := latencyCount(t, text); n != 0 {
+		t.Errorf("timed-out run moved the latency histogram: count %d, want 0", n)
 	}
 }
 
@@ -68,6 +76,13 @@ func TestCompletedRunObservesLatency(t *testing.T) {
 	if !strings.Contains(text, "vcached_run_latency_ms_bucket{le=\"+Inf\"} 1\n") {
 		t.Errorf("+Inf bucket does not account the completed run:\n%s", text)
 	}
+	// The same run must also appear under its workload×config labels.
+	if !strings.Contains(text, `vcached_spec_run_latency_ms_bucket{workload="kernel-build",config="F",le="+Inf"} 1`) {
+		t.Errorf("labeled histogram missing the completed run:\n%s", text)
+	}
+	if !strings.Contains(text, `vcached_spec_run_latency_ms_count{workload="kernel-build",config="F"} 1`) {
+		t.Errorf("labeled histogram count missing:\n%s", text)
+	}
 }
 
 // TestLatencyCountsSizedFromBuckets pins the histogram storage to the
@@ -76,16 +91,21 @@ func TestCompletedRunObservesLatency(t *testing.T) {
 // desynchronize the two (the old fixed-size array could).
 func TestLatencyCountsSizedFromBuckets(t *testing.T) {
 	var m metrics
-	m.observeRun(500 * time.Microsecond)      // first bucket
-	m.observeRun(time.Duration(1<<40) * 1000) // far past the last bound: +Inf
-	if got, want := len(m.latencyCounts), len(latencyBucketsMS)+1; got != want {
-		t.Fatalf("latencyCounts has %d slots, want len(latencyBucketsMS)+1 = %d", got, want)
+	m.observeRun("w", "C", 500*time.Microsecond)      // first bucket
+	m.observeRun("w", "C", time.Duration(1<<40)*1000) // far past the last bound: +Inf
+	if got, want := len(m.latency.counts), len(latencyBucketsMS)+1; got != want {
+		t.Fatalf("latency.counts has %d slots, want len(latencyBucketsMS)+1 = %d", got, want)
 	}
-	if m.latencyCounts[0] != 1 {
-		t.Errorf("first bucket count %d, want 1", m.latencyCounts[0])
+	if m.latency.counts[0] != 1 {
+		t.Errorf("first bucket count %d, want 1", m.latency.counts[0])
 	}
-	if m.latencyCounts[len(latencyBucketsMS)] != 1 {
-		t.Errorf("+Inf bucket count %d, want 1", m.latencyCounts[len(latencyBucketsMS)])
+	if m.latency.counts[len(latencyBucketsMS)] != 1 {
+		t.Errorf("+Inf bucket count %d, want 1", m.latency.counts[len(latencyBucketsMS)])
+	}
+	// The labeled series shares the storage scheme and the observations.
+	h := m.bySpec[specKey{workload: "w", config: "C"}]
+	if h == nil || h.n != 2 || len(h.counts) != len(latencyBucketsMS)+1 {
+		t.Fatalf("labeled histogram not tracking observations: %+v", h)
 	}
 	// Rendering an untouched metrics value must not panic on the nil
 	// slice and must report an all-zero histogram.

@@ -1,0 +1,290 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"vcache/internal/trace"
+)
+
+// tracedBody mirrors runBody with the result kept raw, so tests can
+// compare the result portion byte-for-byte across responses.
+type tracedBody struct {
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+	Trace  *trace.Export   `json:"trace,omitempty"`
+}
+
+// TestTracedRunResponse is the tentpole's serving contract: a request
+// with "trace":N gets the last N consistency events plus a per-kind
+// summary, the "result" field stays byte-identical to the untraced
+// response, and the cached (untraced) body never carries events.
+func TestTracedRunResponse(t *testing.T) {
+	svc := New(Config{MaxConcurrent: 2})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	defer svc.Shutdown(context.Background())
+
+	req := RunRequest{Workload: "kernel-build", Config: "F", Scale: 0.05}
+
+	// Untraced first, so the content key is cached trace-free.
+	status, _, plain := postRun(t, srv, req)
+	if status != http.StatusOK {
+		t.Fatalf("untraced run: status %d: %s", status, plain)
+	}
+
+	treq := req
+	treq.Trace = 32
+	status, outcome, traced := postRun(t, srv, treq)
+	if status != http.StatusOK {
+		t.Fatalf("traced run: status %d: %s", status, traced)
+	}
+	// The cached body holds no events, so a traced request cannot be a
+	// cache hit: it must execute (or attach to) a fresh backing run.
+	if outcome == OutcomeHit {
+		t.Fatalf("traced request served from the trace-free cache (outcome %q)", outcome)
+	}
+
+	var pb, tb tracedBody
+	if err := json.Unmarshal(plain, &pb); err != nil {
+		t.Fatalf("decode untraced body: %v", err)
+	}
+	if err := json.Unmarshal(traced, &tb); err != nil {
+		t.Fatalf("decode traced body: %v", err)
+	}
+	if pb.Trace != nil {
+		t.Fatal("untraced response carries a trace")
+	}
+	if tb.Trace == nil {
+		t.Fatal("traced response carries no trace")
+	}
+	if pb.Key != tb.Key {
+		t.Fatalf("trace changed the content key: %s vs %s", pb.Key, tb.Key)
+	}
+	if !bytes.Equal(pb.Result, tb.Result) {
+		t.Fatalf("result field differs between traced and untraced responses:\n%s\nvs\n%s", pb.Result, tb.Result)
+	}
+
+	exp := tb.Trace
+	if len(exp.Events) == 0 || len(exp.Events) > 32 {
+		t.Fatalf("traced response retained %d events, want 1..32", len(exp.Events))
+	}
+	if exp.Retained != len(exp.Events) {
+		t.Fatalf("retained %d disagrees with %d events", exp.Retained, len(exp.Events))
+	}
+	if exp.Total < uint64(exp.Retained) {
+		t.Fatalf("total %d < retained %d", exp.Total, exp.Retained)
+	}
+	// A kernel build under config F records consistency events, so the
+	// per-kind summary cannot be all-zero.
+	if exp.Summary == (trace.Summary{}) {
+		t.Fatal("traced run produced an all-zero kind summary")
+	}
+
+	// A later untraced request is a pure hit on the cache the traced
+	// run warmed — byte-identical to the first untraced body.
+	status, outcome, again := postRun(t, srv, req)
+	if status != http.StatusOK || outcome != OutcomeHit {
+		t.Fatalf("follow-up untraced run: status %d outcome %q", status, outcome)
+	}
+	if !bytes.Equal(again, plain) {
+		t.Fatal("cache warmed by the traced run serves a different body")
+	}
+}
+
+// TestTraceValidation rejects out-of-range trace requests before any
+// simulation state exists.
+func TestTraceValidation(t *testing.T) {
+	svc := New(Config{MaxConcurrent: 1})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	defer svc.Shutdown(context.Background())
+
+	for _, n := range []int{-1, MaxTraceEvents + 1} {
+		status, _, body := postRun(t, srv, RunRequest{Workload: "kernel-build", Config: "F", Trace: n})
+		if status != http.StatusBadRequest {
+			t.Fatalf("trace=%d: status %d, want 400: %s", n, status, body)
+		}
+		if !strings.Contains(string(body), "trace") {
+			t.Errorf("trace=%d: error does not name the field: %s", n, body)
+		}
+	}
+	if snap := svc.Metrics(); snap.RejectedInvalid != 2 || snap.RunsStarted != 0 {
+		t.Fatalf("expected 2 invalid rejections and no runs, got %d / %d",
+			snap.RejectedInvalid, snap.RunsStarted)
+	}
+}
+
+// TestPhasesHeader checks the per-run phase breakdown surfaces on fresh
+// runs and stays absent on cache hits (a hit has no run to time).
+func TestPhasesHeader(t *testing.T) {
+	svc := New(Config{MaxConcurrent: 1})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	defer svc.Shutdown(context.Background())
+
+	req := RunRequest{Workload: "kernel-build", Config: "F", Scale: 0.05}
+	b, _ := json.Marshal(req)
+	post := func() *http.Response {
+		resp, err := srv.Client().Post(srv.URL+"/run", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	first := post()
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("fresh run: status %d", first.StatusCode)
+	}
+	ph := first.Header.Get("X-Vcache-Phases")
+	for _, span := range []string{"boot=", "setup=", "run=", "collect=", "check=", "encode="} {
+		if !strings.Contains(ph, span) {
+			t.Fatalf("X-Vcache-Phases %q missing %q", ph, span)
+		}
+	}
+
+	second := post()
+	if got := second.Header.Get("X-Vcache-Outcome"); got != OutcomeHit {
+		t.Fatalf("second request outcome %q, want hit", got)
+	}
+	if got := second.Header.Get("X-Vcache-Phases"); got != "" {
+		t.Fatalf("cache hit carries a phase breakdown: %q", got)
+	}
+}
+
+// TestBatchCap pins the fan-out fix's first line of defense: a batch
+// wider than MaxBatch is rejected with 400 before any element runs.
+func TestBatchCap(t *testing.T) {
+	svc := New(Config{MaxConcurrent: 1, MaxBatch: 4})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	defer svc.Shutdown(context.Background())
+
+	var batch BatchRequest
+	for i := 0; i < 5; i++ {
+		batch.Runs = append(batch.Runs, RunRequest{Workload: "kernel-build", Config: "F", Scale: 0.05})
+	}
+	b, _ := json.Marshal(batch)
+	resp, err := srv.Client().Post(srv.URL+"/batch", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "cap") {
+		t.Errorf("rejection does not name the cap: %s", body)
+	}
+	if snap := svc.Metrics(); snap.RunsStarted != 0 || snap.Requests != 0 {
+		t.Fatalf("oversized batch admitted elements: %d runs, %d requests", snap.RunsStarted, snap.Requests)
+	}
+}
+
+// syncBuffer is an io.Writer log sink safe for the service's concurrent
+// access-log writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestBatchLogAggregatesOutcomes pins the access-log fix: the /batch
+// line reports the per-element ok/err split instead of a bare 200, so a
+// fully-failed batch is distinguishable from a clean one.
+func TestBatchLogAggregatesOutcomes(t *testing.T) {
+	var logBuf syncBuffer
+	svc := New(Config{MaxConcurrent: 2, Log: &logBuf})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	defer svc.Shutdown(context.Background())
+
+	batch := BatchRequest{Runs: []RunRequest{
+		{Workload: "kernel-build", Config: "F", Scale: 0.05},
+		{Workload: "kernel-build", Config: "F", Scale: 0.05},
+		{Workload: "no-such-benchmark", Config: "F"},
+	}}
+	b, _ := json.Marshal(batch)
+	resp, err := srv.Client().Post(srv.URL+"/batch", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(br.Results) != 3 {
+		t.Fatalf("batch: status %d, %d results", resp.StatusCode, len(br.Results))
+	}
+
+	var batchLine *accessLog
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		var entry accessLog
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("unparseable log line %q: %v", line, err)
+		}
+		if entry.Path == "/batch" {
+			batchLine = &entry
+		}
+	}
+	if batchLine == nil {
+		t.Fatalf("no /batch line in access log:\n%s", logBuf.String())
+	}
+	if batchLine.Runs != 3 {
+		t.Errorf("batch line runs = %d, want 3", batchLine.Runs)
+	}
+	if batchLine.Outcome != "ok=2 err=1" {
+		t.Errorf("batch line outcome = %q, want \"ok=2 err=1\"", batchLine.Outcome)
+	}
+	if batchLine.DurMS < 0 {
+		t.Errorf("batch line has negative duration %v", batchLine.DurMS)
+	}
+}
+
+// TestRunLogCarriesPhases checks the /run access-log line attaches the
+// wall-clock phase breakdown for a fresh run.
+func TestRunLogCarriesPhases(t *testing.T) {
+	var logBuf syncBuffer
+	svc := New(Config{MaxConcurrent: 1, Log: &logBuf})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	defer svc.Shutdown(context.Background())
+
+	status, _, body := postRun(t, srv, RunRequest{Workload: "kernel-build", Config: "F", Scale: 0.05})
+	if status != http.StatusOK {
+		t.Fatalf("run: status %d: %s", status, body)
+	}
+	var entry accessLog
+	if err := json.Unmarshal([]byte(strings.TrimSpace(logBuf.String())), &entry); err != nil {
+		t.Fatalf("decode log line: %v\n%s", err, logBuf.String())
+	}
+	if entry.Phases == nil {
+		t.Fatalf("run log line has no phases: %s", logBuf.String())
+	}
+	if entry.Phases.RunMS <= 0 {
+		t.Errorf("run log line phase run_ms = %v, want > 0", entry.Phases.RunMS)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"vcache/internal/harness"
+	"vcache/internal/trace"
 	"vcache/internal/workload"
 )
 
@@ -65,6 +66,10 @@ type Config struct {
 	// MaxScale rejects requests above this scale factor (a cheap guard
 	// against a single request monopolizing the daemon); 0 means no cap.
 	MaxScale float64
+	// MaxBatch bounds how many runs one /batch request may carry; a
+	// larger batch is rejected with 400 before any element is admitted.
+	// <= 0 means 256.
+	MaxBatch int
 	// Log, when non-nil, receives one structured JSON line per request.
 	Log io.Writer
 }
@@ -76,14 +81,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 64
 	}
+	// A zero or negative cache capacity is pinned to the default rather
+	// than passed through: an unbounded result cache is never a valid
+	// configuration (newResultCache applies the same pin as a second
+	// line of defense for direct constructions).
 	if c.CacheEntries <= 0 {
-		c.CacheEntries = 512
+		c.CacheEntries = defaultCacheEntries
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 60 * time.Second
 	}
 	if c.RunTimeout <= 0 {
 		c.RunTimeout = 5 * time.Minute
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
 	}
 	return c
 }
@@ -136,9 +148,29 @@ func New(cfg Config) *Service {
 }
 
 // runBody is the cached, served representation of one completed run.
+// Trace is attached only on responses to traced requests and is never
+// cached: the cached body for a key is always the trace-free form, so
+// traced and untraced requests share one content address and the
+// "result" field is byte-identical between them.
 type runBody struct {
 	Key    string          `json:"key"`
 	Result workload.Result `json:"result"`
+	Trace  *trace.Export   `json:"trace,omitempty"`
+}
+
+// RunPhases is the wall-clock phase breakdown of one backing run as the
+// service saw it: the harness's boot/setup/run/collect spans plus the
+// service's own oracle check and response encode. It feeds the access
+// log and the X-Vcache-Phases response header; it is never part of the
+// (deterministic, content-addressed) response body.
+type RunPhases struct {
+	Harness harness.Phases
+	Check   time.Duration
+	Encode  time.Duration
+}
+
+func (p RunPhases) String() string {
+	return fmt.Sprintf("%v check=%v encode=%v", p.Harness, p.Check, p.Encode)
 }
 
 // Outcome labels how a request was satisfied (the X-Vcache-Outcome
@@ -156,28 +188,50 @@ const (
 // backing run it triggered keeps running (and populates the cache) even
 // if this caller gives up.
 func (s *Service) Submit(ctx context.Context, r *Resolved) (body []byte, outcome string, err error) {
+	body, outcome, _, err = s.submit(ctx, r)
+	return body, outcome, err
+}
+
+// submit is Submit plus the backing run's phase breakdown (nil when the
+// request was served from the cache or the run never executed).
+//
+// A traced request (TraceN > 0) skips the result cache — the cached
+// body carries no events — and singleflights under a trace-qualified
+// key, so concurrent identical traced requests still collapse into one
+// backing run without ever attaching an untraced caller to a traced
+// body or vice versa.
+func (s *Service) submit(ctx context.Context, r *Resolved) (body []byte, outcome string, phases *RunPhases, err error) {
 	s.m.inc(&s.m.requests)
-	if b, ok := s.cache.get(r.Key); ok {
-		return b, OutcomeHit, nil
+	traced := r.TraceN > 0
+	flightKey := r.Key
+	if traced {
+		flightKey = fmt.Sprintf("%s|trace=%d", r.Key, r.TraceN)
 	}
-	c, owner := s.flight.join(r.Key)
+	if !traced {
+		if b, ok := s.cache.get(r.Key); ok {
+			return b, OutcomeHit, nil, nil
+		}
+	}
+	c, owner := s.flight.join(flightKey)
 	if !owner {
 		s.m.inc(&s.m.singleflightHits)
 		select {
 		case <-c.done:
-			return c.body, OutcomeShared, c.err
+			return c.body, OutcomeShared, c.phases, c.err
 		case <-ctx.Done():
 			s.m.inc(&s.m.timeouts)
-			return nil, OutcomeShared, fmt.Errorf("request deadline expired waiting for shared run: %w", ctx.Err())
+			return nil, OutcomeShared, nil, fmt.Errorf("request deadline expired waiting for shared run: %w", ctx.Err())
 		}
 	}
 	// Owner path. First re-check the cache: a previous owner may have
 	// completed between our cache miss and our join, and its result is
 	// always cached before its flight key is released — so a hit here is
 	// authoritative and no second backing run may start.
-	if b, ok := s.cache.recheck(r.Key); ok {
-		s.flight.finish(r.Key, c, b, nil)
-		return b, OutcomeHit, nil
+	if !traced {
+		if b, ok := s.cache.recheck(r.Key); ok {
+			s.flight.finish(flightKey, c, b, nil)
+			return b, OutcomeHit, nil, nil
+		}
 	}
 	// Launch the backing run detached from this caller's context, so
 	// later arrivals (and the cache) still get the result if this
@@ -186,27 +240,28 @@ func (s *Service) Submit(ctx context.Context, r *Resolved) (body []byte, outcome
 	if s.draining {
 		s.mu.Unlock()
 		s.m.inc(&s.m.rejectedDraining)
-		s.flight.finish(r.Key, c, nil, ErrDraining)
-		return nil, OutcomeMiss, ErrDraining
+		s.flight.finish(flightKey, c, nil, ErrDraining)
+		return nil, OutcomeMiss, nil, ErrDraining
 	}
 	s.wg.Add(1)
 	s.mu.Unlock()
-	go s.execute(r, c)
+	go s.execute(r, flightKey, c)
 	select {
 	case <-c.done:
-		return c.body, OutcomeMiss, c.err
+		return c.body, OutcomeMiss, c.phases, c.err
 	case <-ctx.Done():
 		s.m.inc(&s.m.timeouts)
-		return nil, OutcomeMiss, fmt.Errorf("request deadline expired waiting for run: %w", ctx.Err())
+		return nil, OutcomeMiss, nil, fmt.Errorf("request deadline expired waiting for run: %w", ctx.Err())
 	}
 }
 
 // execute is the detached backing-run executor: admission, simulation,
-// cache insert, publication. Exactly one executes per key at a time.
-func (s *Service) execute(r *Resolved, c *call) {
+// cache insert, publication. Exactly one executes per flight key at a
+// time.
+func (s *Service) execute(r *Resolved, flightKey string, c *call) {
 	defer s.wg.Done()
 	if err := s.admit(); err != nil {
-		s.flight.finish(r.Key, c, nil, err)
+		s.flight.finish(flightKey, c, nil, err)
 		return
 	}
 	s.inflight.Add(1)
@@ -215,37 +270,69 @@ func (s *Service) execute(r *Resolved, c *call) {
 		<-s.sem
 	}()
 	s.m.inc(&s.m.runsStarted)
+	spec := r.Spec
+	spec.TraceN = r.TraceN
 	runCtx, cancel := context.WithTimeout(s.base, s.cfg.RunTimeout)
 	defer cancel()
 	start := time.Now()
-	out := s.runner.RunContext(runCtx, harness.Plan{r.Spec})[0]
+	out := s.runner.RunContext(runCtx, harness.Plan{spec})[0]
 	elapsed := time.Since(start)
 	if out.Err != nil {
+		// A run cancelled by the server-side RunTimeout is capacity
+		// exhaustion, not a bad spec: count it apart from run_errors_total
+		// and surface it as a deadline error so the HTTP layer maps it to
+		// 504 instead of 500. (A run cancelled by forced shutdown carries
+		// context.Canceled and stays an ordinary run error.)
+		if errors.Is(out.Err, context.DeadlineExceeded) {
+			s.m.inc(&s.m.runTimeouts)
+			s.flight.finish(flightKey, c, nil,
+				fmt.Errorf("run exceeded the server-side run timeout %v: %w", s.cfg.RunTimeout, context.DeadlineExceeded))
+			return
+		}
 		s.m.inc(&s.m.runErrors)
-		s.flight.finish(r.Key, c, nil, out.Err)
+		s.flight.finish(flightKey, c, nil, out.Err)
 		return
 	}
-	if err := out.Result.CheckClean(); err != nil {
-		s.m.inc(&s.m.runErrors)
-		s.flight.finish(r.Key, c, nil, err)
-		return
-	}
-	body, err := json.Marshal(runBody{Key: r.Key, Result: out.Result})
+	phases := &RunPhases{Harness: out.Phases}
+	start = time.Now()
+	err := out.Result.CheckClean()
+	phases.Check = time.Since(start)
 	if err != nil {
 		s.m.inc(&s.m.runErrors)
-		s.flight.finish(r.Key, c, nil, fmt.Errorf("encode result: %w", err))
+		s.flight.finish(flightKey, c, nil, err)
 		return
 	}
-	// The latency histogram observes completed runs only: a timed-out or
+	start = time.Now()
+	cacheBody, err := json.Marshal(runBody{Key: r.Key, Result: out.Result})
+	if err != nil {
+		s.m.inc(&s.m.runErrors)
+		s.flight.finish(flightKey, c, nil, fmt.Errorf("encode result: %w", err))
+		return
+	}
+	body := cacheBody
+	if r.TraceN > 0 {
+		exp := out.Trace.Export()
+		body, err = json.Marshal(runBody{Key: r.Key, Result: out.Result, Trace: &exp})
+		if err != nil {
+			s.m.inc(&s.m.runErrors)
+			s.flight.finish(flightKey, c, nil, fmt.Errorf("encode traced result: %w", err))
+			return
+		}
+	}
+	phases.Encode = time.Since(start)
+	// The latency histograms observe completed runs only: a timed-out or
 	// failed run would otherwise drag the distribution toward whatever
 	// the failure mode's duration happens to be (RunTimeout, mostly) and
 	// make vcached_run_latency_ms_count disagree with runs_completed.
-	s.m.observeRun(elapsed)
+	s.m.observeRun(r.Spec.Workload.Name, r.Spec.Config.Label, elapsed)
 	s.m.inc(&s.m.runsCompleted)
 	// Cache before releasing the flight key: a completed key is always
-	// findable in cache or flight map, never neither.
-	s.cache.put(r.Key, body)
-	s.flight.finish(r.Key, c, body, nil)
+	// findable in cache or flight map, never neither. The cached body is
+	// always the trace-free form, so a traced run warms the cache for
+	// untraced requests with byte-identical content.
+	s.cache.put(r.Key, cacheBody)
+	c.phases = phases
+	s.flight.finish(flightKey, c, body, nil)
 }
 
 // admit acquires a run slot, waiting in the bounded queue if none is
@@ -316,6 +403,7 @@ func (s *Service) Metrics() Snapshot {
 		RunsStarted:      s.m.runsStarted,
 		RunsCompleted:    s.m.runsCompleted,
 		RunErrors:        s.m.runErrors,
+		RunTimeouts:      s.m.runTimeouts,
 		RejectedInvalid:  s.m.rejectedInvalid,
 		RejectedQueue:    s.m.rejectedQueue,
 		RejectedDraining: s.m.rejectedDraining,

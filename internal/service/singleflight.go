@@ -12,13 +12,17 @@ type flightGroup struct {
 	m  map[string]*call
 }
 
-// call is one in-flight computation. body and err are written exactly
-// once, before done is closed; readers wait on done first, so the close
-// is the publication barrier.
+// call is one in-flight computation. body, err, and phases are written
+// exactly once, before done is closed; readers wait on done first, so
+// the close is the publication barrier.
 type call struct {
 	done chan struct{}
 	body []byte
 	err  error
+	// phases, when non-nil, is the wall-clock phase breakdown of the
+	// backing run this call executed (nil when the call was settled
+	// without running: drain rejection, admission failure).
+	phases *RunPhases
 }
 
 func newFlightGroup() *flightGroup {

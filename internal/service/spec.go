@@ -35,7 +35,19 @@ type RunRequest struct {
 	// simulation: two requests differing only in TimeoutMS are the same
 	// cached content. 0 takes the service default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Trace, when positive, asks for the last Trace consistency events
+	// of the backing run plus a per-kind summary in the response body.
+	// Like TimeoutMS it is request metadata, not simulation content: it
+	// does not enter the content-address key, and the result portion of
+	// a traced response is byte-identical to the untraced one. A traced
+	// request always executes a fresh backing run (the cached body holds
+	// no events), capped at MaxTraceEvents.
+	Trace int `json:"trace,omitempty"`
 }
+
+// MaxTraceEvents bounds the per-request trace ring so one request
+// cannot ask the daemon to buffer an arbitrarily large event history.
+const MaxTraceEvents = 4096
 
 // TimingOverride adjusts individual cycle costs; nil fields keep the
 // HP 720 profile's values.
@@ -63,11 +75,14 @@ type canonical struct {
 }
 
 // Resolved is a validated request bound to its runnable harness.Spec and
-// content-address key.
+// content-address key. TraceN is carried outside the Spec (and outside
+// the key) so the same Resolved content hashes identically whether or
+// not events were requested.
 type Resolved struct {
-	Req  RunRequest
-	Key  string
-	Spec harness.Spec
+	Req    RunRequest
+	Key    string
+	Spec   harness.Spec
+	TraceN int
 }
 
 // Resolve validates a request and binds it to its workload,
@@ -109,6 +124,9 @@ func Resolve(req RunRequest) (*Resolved, error) {
 	if req.TimeoutMS < 0 {
 		return nil, fmt.Errorf("timeout_ms must be >= 0, got %d", req.TimeoutMS)
 	}
+	if req.Trace < 0 || req.Trace > MaxTraceEvents {
+		return nil, fmt.Errorf("trace must be between 0 and %d events, got %d", MaxTraceEvents, req.Trace)
+	}
 
 	kc := kernel.DefaultConfig(cfg)
 	kc.Machine.CPUs = cpus
@@ -135,8 +153,9 @@ func Resolve(req RunRequest) (*Resolved, error) {
 		return nil, err
 	}
 	return &Resolved{
-		Req: req,
-		Key: key,
+		Req:    req,
+		Key:    key,
+		TraceN: req.Trace,
 		Spec: harness.Spec{
 			Workload: w,
 			Config:   cfg,

@@ -7,6 +7,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -33,6 +34,13 @@ const (
 	EvDMAPrep
 	// EvPrepare is page preparation (zero or copy).
 	EvPrepare
+	// EvDMAMove is an actual device transfer through the DMA port (the
+	// machine-level data movement the EvDMAPrep consistency work
+	// precedes).
+	EvDMAMove
+
+	// numKinds bounds the Kind space; keep it last.
+	numKinds
 )
 
 func (k Kind) String() string {
@@ -53,9 +61,22 @@ func (k Kind) String() string {
 		return "dma-prep"
 	case EvPrepare:
 		return "prepare"
+	case EvDMAMove:
+		return "dma-move"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
+}
+
+// KindFromString is the inverse of Kind.String, for decoding exported
+// traces.
+func KindFromString(s string) (Kind, error) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event kind %q", s)
 }
 
 // Event is one recorded occurrence.
@@ -83,6 +104,65 @@ func (e Event) String() string {
 		s += " " + e.Note
 	}
 	return s
+}
+
+// eventJSON is the wire form of one event: the kind is its stable string
+// name (not the numeric constant, which may be renumbered), and a frame
+// with no target cache page omits the color field rather than emitting
+// the NoCachePage sentinel value.
+type eventJSON struct {
+	Seq    uint64          `json:"seq"`
+	Cycles uint64          `json:"cycles"`
+	Kind   string          `json:"kind"`
+	Frame  arch.PFN        `json:"frame"`
+	Color  *arch.CachePage `json:"color,omitempty"`
+	Space  arch.SpaceID    `json:"space,omitempty"`
+	VPN    arch.VPN        `json:"vpn,omitempty"`
+	Note   string          `json:"note,omitempty"`
+}
+
+// MarshalJSON emits the structured wire form of the event.
+func (e Event) MarshalJSON() ([]byte, error) {
+	j := eventJSON{
+		Seq:    e.Seq,
+		Cycles: e.Cycles,
+		Kind:   e.Kind.String(),
+		Frame:  e.Frame,
+		Space:  e.Space,
+		VPN:    e.VPN,
+		Note:   e.Note,
+	}
+	if e.Color != arch.NoCachePage {
+		c := e.Color
+		j.Color = &c
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the wire form produced by MarshalJSON.
+func (e *Event) UnmarshalJSON(b []byte) error {
+	var j eventJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	kind, err := KindFromString(j.Kind)
+	if err != nil {
+		return err
+	}
+	*e = Event{
+		Seq:    j.Seq,
+		Cycles: j.Cycles,
+		Kind:   kind,
+		Frame:  j.Frame,
+		Color:  arch.NoCachePage,
+		Space:  j.Space,
+		VPN:    j.VPN,
+		Note:   j.Note,
+	}
+	if j.Color != nil {
+		e.Color = *j.Color
+	}
+	return nil
 }
 
 // Recorder is a ring buffer of events. A nil *Recorder discards
@@ -159,4 +239,140 @@ func (r *Recorder) CountByKind() map[Kind]int {
 		out[e.Kind]++
 	}
 	return out
+}
+
+// Filter returns the retained events satisfying keep, oldest first.
+func (r *Recorder) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EventsOfKind returns the retained events of one kind, oldest first.
+func (r *Recorder) EventsOfKind(k Kind) []Event {
+	return r.Filter(func(e Event) bool { return e.Kind == k })
+}
+
+// EventsOfFrame returns the retained events touching one physical
+// frame, oldest first.
+func (r *Recorder) EventsOfFrame(f arch.PFN) []Event {
+	return r.Filter(func(e Event) bool { return e.Frame == f })
+}
+
+// Summary is the per-kind tally of a recorder's retained events in a
+// stable, JSON-friendly shape: one named field per kind, so the field
+// order (and therefore the rendered JSON) never depends on map
+// iteration. It covers only the retained window; Export.Total and
+// Export.Dropped describe what rotated out.
+type Summary struct {
+	Flushes           int `json:"flushes"`
+	Purges            int `json:"purges"`
+	IPurges           int `json:"ipurges"`
+	MappingFaults     int `json:"mapping_faults"`
+	ConsistencyFaults int `json:"consistency_faults"`
+	ModifyFaults      int `json:"modify_faults"`
+	DMAPreps          int `json:"dma_preps"`
+	Prepares          int `json:"prepares"`
+	DMAMoves          int `json:"dma_moves"`
+}
+
+// add tallies one event kind.
+func (s *Summary) add(k Kind) {
+	switch k {
+	case EvFlush:
+		s.Flushes++
+	case EvPurge:
+		s.Purges++
+	case EvIPurge:
+		s.IPurges++
+	case EvMappingFault:
+		s.MappingFaults++
+	case EvConsistencyFault:
+		s.ConsistencyFaults++
+	case EvModifyFault:
+		s.ModifyFaults++
+	case EvDMAPrep:
+		s.DMAPreps++
+	case EvPrepare:
+		s.Prepares++
+	case EvDMAMove:
+		s.DMAMoves++
+	}
+}
+
+// Summary tallies the retained events into the stable per-kind struct.
+func (r *Recorder) Summary() Summary {
+	var s Summary
+	for _, e := range r.Events() {
+		s.add(e.Kind)
+	}
+	return s
+}
+
+// Export is the complete structured form of a recorder: overall volume,
+// the per-kind summary of the retained window, and the retained events
+// oldest first. It is what vcachesim -trace-json emits and what the
+// service attaches to a traced /run response.
+type Export struct {
+	// Total counts every event ever recorded, including those that
+	// rotated out of the ring.
+	Total uint64 `json:"total"`
+	// Retained is len(Events).
+	Retained int `json:"retained"`
+	// Dropped is Total - Retained: how many events rotated out.
+	Dropped uint64  `json:"dropped"`
+	Summary Summary `json:"summary"`
+	Events  []Event `json:"events"`
+}
+
+// Export snapshots the recorder. A nil recorder exports an empty value
+// with a non-nil (but empty) event slice, so the JSON always has an
+// "events" array.
+func (r *Recorder) Export() Export {
+	evs := r.Events()
+	if evs == nil {
+		evs = []Event{}
+	}
+	exp := Export{
+		Total:    r.Total(),
+		Retained: len(evs),
+		Dropped:  r.Total() - uint64(len(evs)),
+		Events:   evs,
+	}
+	for _, e := range evs {
+		exp.Summary.add(e.Kind)
+	}
+	return exp
+}
+
+// MarshalJSON renders the recorder as its Export.
+func (r *Recorder) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Export())
+}
+
+// UnmarshalJSON reconstructs a recorder from an exported trace. The
+// rebuilt recorder reproduces Events, Total, and Summary exactly; its
+// ring capacity is the retained event count (the export does not record
+// the original capacity), so it is a faithful read-side replica, not a
+// recorder to keep appending to.
+func (r *Recorder) UnmarshalJSON(b []byte) error {
+	var exp Export
+	if err := json.Unmarshal(b, &exp); err != nil {
+		return err
+	}
+	if exp.Total < uint64(len(exp.Events)) {
+		return fmt.Errorf("trace: export total %d below retained event count %d", exp.Total, len(exp.Events))
+	}
+	if len(exp.Events) == 0 {
+		*r = Recorder{buf: make([]Event, 1), seq: exp.Total}
+		return nil
+	}
+	buf := make([]Event, len(exp.Events))
+	copy(buf, exp.Events)
+	*r = Recorder{buf: buf, seq: exp.Total, next: 0, full: true}
+	return nil
 }

@@ -1,6 +1,9 @@
 package trace
 
 import (
+	"encoding/json"
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -70,7 +73,7 @@ func TestDumpAndCount(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	kinds := []Kind{EvFlush, EvPurge, EvIPurge, EvMappingFault, EvConsistencyFault, EvModifyFault, EvDMAPrep, EvPrepare}
+	kinds := []Kind{EvFlush, EvPurge, EvIPurge, EvMappingFault, EvConsistencyFault, EvModifyFault, EvDMAPrep, EvPrepare, EvDMAMove}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()
@@ -85,5 +88,155 @@ func TestDefaultSize(t *testing.T) {
 	r := NewRecorder(0)
 	if len(r.buf) != 1024 {
 		t.Errorf("default size = %d", len(r.buf))
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, err := KindFromString(k.String())
+		if err != nil {
+			t.Errorf("KindFromString(%q): %v", k.String(), err)
+			continue
+		}
+		if got != k {
+			t.Errorf("KindFromString(%q) = %d, want %d", k.String(), got, k)
+		}
+	}
+	if _, err := KindFromString("bogus"); err == nil {
+		t.Error("KindFromString accepted an unknown name")
+	}
+}
+
+// wrappedRecorder records 3+extra events into a 3-slot ring so the
+// export paths below all operate on a wrapped buffer.
+func wrappedRecorder() *Recorder {
+	r := NewRecorder(3)
+	kinds := []Kind{EvFlush, EvPurge, EvFlush, EvDMAPrep, EvConsistencyFault}
+	for i, k := range kinds {
+		r.Record(Event{
+			Kind:   k,
+			Cycles: uint64(100 * (i + 1)),
+			Frame:  arch.PFN(i),
+			Color:  arch.CachePage(i % 2),
+			Space:  arch.SpaceID(7),
+			VPN:    arch.VPN(0x40 + i),
+			Note:   "n",
+		})
+	}
+	return r
+}
+
+// TestEventsOrderAcrossWrap pins Events' oldest-first contract on a
+// wrapped ring: sequence numbers strictly ascend and the window is the
+// last len(buf) events.
+func TestEventsOrderAcrossWrap(t *testing.T) {
+	r := wrappedRecorder()
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(i + 3); e.Seq != want {
+			t.Errorf("event %d seq %d, want %d", i, e.Seq, want)
+		}
+	}
+	if r.Total() != 5 {
+		t.Errorf("Total = %d, want 5 (retained window must not shrink it)", r.Total())
+	}
+}
+
+func TestExportWrapped(t *testing.T) {
+	r := wrappedRecorder()
+	exp := r.Export()
+	if exp.Total != 5 || exp.Retained != 3 || exp.Dropped != 2 {
+		t.Fatalf("export totals = %d/%d/%d, want 5/3/2", exp.Total, exp.Retained, exp.Dropped)
+	}
+	// The summary covers only the retained window: flush #1 and purge #2
+	// rotated out.
+	want := Summary{Flushes: 1, DMAPreps: 1, ConsistencyFaults: 1}
+	if exp.Summary != want {
+		t.Errorf("summary = %+v, want %+v", exp.Summary, want)
+	}
+	if exp.Summary != r.Summary() {
+		t.Errorf("Export.Summary disagrees with Recorder.Summary")
+	}
+}
+
+// TestJSONRoundTripWrapped: marshal a wrapped recorder, unmarshal it,
+// and require Events/Total/Summary to reproduce exactly — including the
+// color=NoCachePage omission and the kind string encoding.
+func TestJSONRoundTripWrapped(t *testing.T) {
+	r := wrappedRecorder()
+	r.Record(Event{Kind: EvDMAMove, Frame: 9, Color: arch.NoCachePage, Note: "write 12w"})
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"kind":"dma-move"`, `"total":6`, `"dropped":3`, `"summary"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("export JSON missing %s:\n%s", want, b)
+		}
+	}
+	if strings.Contains(string(b), fmt.Sprintf("%d", uint32(arch.NoCachePage))) {
+		t.Errorf("export JSON leaks the NoCachePage sentinel:\n%s", b)
+	}
+	var back Recorder
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != r.Total() {
+		t.Errorf("round-trip Total = %d, want %d", back.Total(), r.Total())
+	}
+	if !reflect.DeepEqual(back.Events(), r.Events()) {
+		t.Errorf("round-trip events differ:\n%v\nvs\n%v", back.Events(), r.Events())
+	}
+	if back.Summary() != r.Summary() {
+		t.Errorf("round-trip summary differs")
+	}
+	// Re-export must be byte-identical: the export form is canonical.
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Errorf("re-export differs:\n%s\nvs\n%s", b, b2)
+	}
+}
+
+func TestJSONRoundTripEmptyAndInvalid(t *testing.T) {
+	var empty Recorder
+	b, err := json.Marshal(NewRecorder(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &empty); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Total() != 0 || len(empty.Events()) != 0 {
+		t.Errorf("empty round-trip: total %d, %d events", empty.Total(), len(empty.Events()))
+	}
+	var bad Recorder
+	if err := json.Unmarshal([]byte(`{"total":1,"events":[{"kind":"bogus"}]}`), &bad); err == nil {
+		t.Error("unknown kind decoded without error")
+	}
+	if err := json.Unmarshal([]byte(`{"total":0,"events":[{"kind":"flush"}]}`), &bad); err == nil {
+		t.Error("total below retained count decoded without error")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	r := wrappedRecorder() // retains flush(frame 2), dma-prep(frame 3), cons-fault(frame 4)
+	if got := r.EventsOfKind(EvFlush); len(got) != 1 || got[0].Frame != 2 {
+		t.Errorf("EventsOfKind(flush) = %v", got)
+	}
+	if got := r.EventsOfFrame(3); len(got) != 1 || got[0].Kind != EvDMAPrep {
+		t.Errorf("EventsOfFrame(3) = %v", got)
+	}
+	if got := r.Filter(func(e Event) bool { return e.Seq >= 4 }); len(got) != 2 {
+		t.Errorf("Filter(seq>=4) kept %d events, want 2", len(got))
+	}
+	var nilRec *Recorder
+	if got := nilRec.Filter(func(Event) bool { return true }); got != nil {
+		t.Errorf("nil recorder filter = %v", got)
 	}
 }
