@@ -3,7 +3,7 @@
 // default), so successive changes to the hot paths are held to a
 // recorded baseline.
 //
-// It times two things:
+// It times three things:
 //
 //   - the Table 4 matrix (three benchmarks × configurations A–F) and the
 //     Section 2.5 alias microbenchmark, reporting wall-clock ns and
@@ -11,7 +11,11 @@
 //     simulator's throughput);
 //   - the kernel-build × F cell a second time with the fast paths
 //     disabled (the word-at-a-time reference pipeline), giving the
-//     speedup the bulk zero/copy/DMA paths and the micro-TLB probe buy.
+//     speedup the bulk zero/copy/DMA paths and the micro-TLB probe buy;
+//   - the warm-boot leg: time-to-first-measured-cycle for kernel-build
+//     × F, cold (kernel construction plus workload setup) versus warm
+//     (forking a frozen post-setup machine snapshot, the copy-on-write
+//     image path vcached pools behind -snapshot-pool).
 //
 // Measurement runs execute with the oracle disabled, the benchmark
 // configuration (checking every word would dominate the measurement);
@@ -67,6 +71,21 @@ type Report struct {
 	// speedup below is its wall time over the fast entry's.
 	Baseline            Entry   `json:"baseline_kernel_build_f"`
 	SpeedupKernelBuildF float64 `json:"speedup_kernel_build_f"`
+	// WarmBoot compares time-to-first-measured-cycle: a cold boot versus
+	// forking a pooled snapshot.
+	WarmBoot WarmBoot `json:"warm_boot_kernel_build_f"`
+}
+
+// WarmBoot is the warm-boot leg of the trajectory: how long it takes to
+// reach the first measured cycle of a run, cold (kernel.New + workload
+// setup) versus warm (Snapshot.Fork of the frozen post-setup image).
+// Best-of-reps on both sides.
+type WarmBoot struct {
+	Workload      string  `json:"workload"`
+	Config        string  `json:"config"`
+	ColdBootNS    int64   `json:"cold_boot_ns"`
+	WarmRestoreNS int64   `json:"warm_restore_ns"`
+	Speedup       float64 `json:"speedup"`
 }
 
 func main() {
@@ -120,6 +139,10 @@ func main() {
 		}
 	}
 	log.Printf("kernel-build/F speedup: %.2fx", rep.SpeedupKernelBuildF)
+
+	rep.WarmBoot = measureWarmBoot(scale, *reps)
+	log.Printf("warm boot: cold %.1f ms, restore %.1f ms (%.1fx)",
+		float64(rep.WarmBoot.ColdBootNS)/1e6, float64(rep.WarmBoot.WarmRestoreNS)/1e6, rep.WarmBoot.Speedup)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -176,6 +199,49 @@ func measure(w harness.Workload, cfg policy.Config, scale workload.Scale, reps i
 		best.NSPerMegacycle = float64(best.WallNS) / (float64(best.SimCycles) / 1e6)
 	}
 	return best
+}
+
+// measureWarmBoot times time-to-first-measured-cycle for kernel-build
+// × F, oracle off like every other cell: cold is one kernel
+// construction plus the workload's setup phase; warm is one
+// Snapshot.Fork of the frozen post-setup image. Both sides are
+// best-of-reps; the snapshot is taken once and forked repeatedly,
+// exactly as the vcached pool uses it.
+func measureWarmBoot(scale workload.Scale, reps int) WarmBoot {
+	w := workload.KernelBuild()
+	cfg := mustConfig("F")
+	kc := kernel.DefaultConfig(cfg)
+	kc.Machine.WithOracle = false
+	wb := WarmBoot{Workload: w.Name, Config: cfg.Label}
+	var last *kernel.Kernel
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		k, err := kernel.New(kc)
+		if err != nil {
+			log.Fatalf("warm-boot leg: boot: %v", err)
+		}
+		if err := w.Setup(k, scale); err != nil {
+			log.Fatalf("warm-boot leg: setup: %v", err)
+		}
+		cold := time.Since(start).Nanoseconds()
+		if i == 0 || cold < wb.ColdBootNS {
+			wb.ColdBootNS = cold
+		}
+		last = k
+	}
+	snap := last.Snapshot()
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		_ = snap.Fork()
+		warm := time.Since(start).Nanoseconds()
+		if i == 0 || warm < wb.WarmRestoreNS {
+			wb.WarmRestoreNS = warm
+		}
+	}
+	if wb.WarmRestoreNS > 0 {
+		wb.Speedup = float64(wb.ColdBootNS) / float64(wb.WarmRestoreNS)
+	}
+	return wb
 }
 
 func measureMicro(writes int, aligned bool, reps int) (Entry, error) {

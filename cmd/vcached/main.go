@@ -41,6 +41,7 @@ func main() {
 	concurrency := flag.Int("concurrency", 0, "max backing simulations at once (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "max runs waiting for a slot before 429")
 	cacheEntries := flag.Int("cache", 512, "result-cache capacity (entries)")
+	snapshotPool := flag.Int("snapshot-pool", 0, "warm-boot snapshot pool capacity (machine images; 0 = disabled)")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-request wait deadline")
 	runTimeout := flag.Duration("run-timeout", 5*time.Minute, "server-side cap on one simulation")
 	maxScale := flag.Float64("max-scale", 0, "reject requests above this scale factor (0 = no cap)")
@@ -54,6 +55,12 @@ func main() {
 	hot := flag.Float64("hot", 0.8, "selftest: fraction of requests drawn from the hot set")
 	flag.Parse()
 
+	// A negative pool size is a misconfiguration, not "disabled": fail
+	// loudly instead of silently running without warm boots.
+	if *snapshotPool < 0 {
+		log.Fatalf("-snapshot-pool must be >= 0 (0 = disabled), got %d", *snapshotPool)
+	}
+
 	var logW io.Writer = os.Stderr
 	if *quiet {
 		logW = nil
@@ -62,6 +69,7 @@ func main() {
 		MaxConcurrent:  *concurrency,
 		MaxQueue:       *queue,
 		CacheEntries:   *cacheEntries,
+		SnapshotPool:   *snapshotPool,
 		DefaultTimeout: *timeout,
 		RunTimeout:     *runTimeout,
 		MaxScale:       *maxScale,

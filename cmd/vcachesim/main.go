@@ -16,12 +16,16 @@
 //	vcachesim -workload latex-paper -config F -json | jq .Seconds
 //	vcachesim -workload kernel-build -config F -trace-json trace.json
 //	vcachesim -workload kernel-build -config F -phases
+//	vcachesim -workload kernel-build -config F -warm-boot -phases
 //	vcachesim -list
 //
 // -trace-json writes the run's consistency-event ring as structured
 // JSON (the same wire form vcached returns for a traced /run request);
-// -phases prints the wall-clock boot/setup/run/collect breakdown to
-// stderr, leaving stdout byte-identical to an untimed run.
+// -phases prints the wall-clock boot/setup/restore/run/collect breakdown
+// to stderr, leaving stdout byte-identical to an untimed run. -warm-boot
+// runs the measured phase on a fork of a post-setup machine snapshot
+// instead of the booted kernel itself — the restore span in -phases is
+// the warm-boot cost, and the result is identical either way.
 package main
 
 import (
@@ -49,7 +53,8 @@ func main() {
 	list := flag.Bool("list", false, "list workloads and configurations")
 	traceN := flag.Int("trace", 0, "print the last N consistency events of the run")
 	traceJSON := flag.String("trace-json", "", `write the structured trace as JSON to this file ("-" = stdout); implies -trace 256 when -trace is unset`)
-	phases := flag.Bool("phases", false, "print the wall-clock phase breakdown (boot/setup/run/collect) to stderr")
+	phases := flag.Bool("phases", false, "print the wall-clock phase breakdown (boot/setup/restore/run/collect) to stderr")
+	warm := flag.Bool("warm-boot", false, "snapshot the booted machine and run the measured phase from a fork (the result is identical; see -phases for the restore span)")
 	cpus := flag.Int("cpus", 1, "processor count (Section 3.3 multiprocessor mode)")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
 	flag.Parse()
@@ -95,13 +100,21 @@ func main() {
 	}
 	kc := kernel.DefaultConfig(cfg)
 	kc.Machine.CPUs = *cpus
-	r, recorder, ph, err := harness.ExecTimed(context.Background(), harness.Spec{
+	// With -warm-boot the run goes through a one-slot snapshot pool: the
+	// boot is snapshotted post-setup and the measured phase executes on a
+	// fork — the restore span shows up in -phases, the result does not
+	// change (the snapshot identity tests prove it byte-identical).
+	var pool *harness.SnapshotPool
+	if *warm {
+		pool = harness.NewSnapshotPool(1)
+	}
+	r, recorder, ph, err := harness.ExecTimedPool(context.Background(), harness.Spec{
 		Workload: w,
 		Config:   cfg,
 		Scale:    workload.Scale{Name: "custom", Factor: *factor},
 		Kernel:   &kc,
 		TraceN:   *traceN,
-	})
+	}, pool)
 	if err != nil {
 		fail(err)
 	}

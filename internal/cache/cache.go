@@ -139,6 +139,31 @@ func New(cfg Config, m *mem.Memory, clock *sim.Clock) (*Cache, error) {
 	return c, nil
 }
 
+// Clone returns an independent copy of the cache wired to a forked
+// memory and clock (snapshot/fork support). Every line — valid bits,
+// dirty bits, physical tags, data, LRU stamps — is copied, so the fork
+// resumes with exactly the stale-data hazards the original had.
+func (c *Cache) Clone(m *mem.Memory, clock *sim.Clock) *Cache {
+	c2 := *c
+	c2.mem = m
+	c2.clock = clock
+	wpl := c.geom.WordsPerLine()
+	backing := make([]uint64, uint64(len(c.sets))*uint64(c.cfg.Ways)*wpl)
+	c2.sets = make([][]line, len(c.sets))
+	for si := range c.sets {
+		ways := make([]line, len(c.sets[si]))
+		copy(ways, c.sets[si])
+		for w := range ways {
+			data := backing[:wpl:wpl]
+			backing = backing[wpl:]
+			copy(data, c.sets[si][w].data)
+			ways[w].data = data
+		}
+		c2.sets[si] = ways
+	}
+	return &c2
+}
+
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 

@@ -101,6 +101,13 @@ func NewController(hw Hardware, mt MappingTable) *Controller {
 // Stats returns a snapshot of the operation counters.
 func (ctl *Controller) Stats() Stats { return ctl.stats }
 
+// Clone returns a controller carrying the same counters but issuing
+// operations to a fork's hardware and mapping table (snapshot/fork
+// support).
+func (ctl *Controller) Clone(hw Hardware, mt MappingTable) *Controller {
+	return &Controller{hw: hw, mt: mt, stats: ctl.stats}
+}
+
 // ResetStats zeroes the counters.
 func (ctl *Controller) ResetStats() { ctl.stats = Stats{} }
 

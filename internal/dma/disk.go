@@ -43,6 +43,20 @@ func NewDisk(m *machine.Machine) *Disk {
 // Stats returns a snapshot of the counters.
 func (d *Disk) Stats() Stats { return d.stats }
 
+// Clone returns an independent copy of the disk attached to forked
+// machine m2 (snapshot/fork support). Block contents are shared, not
+// copied: the disk never mutates a block slice in place — WriteBlock
+// replaces the whole slice with the fresh one DMARead returns — so
+// sharing is safe and a snapshot's disk image costs only the map.
+func (d *Disk) Clone(m2 *machine.Machine) *Disk {
+	d2 := &Disk{m: m2, geom: d.geom, next: d.next, stats: d.stats}
+	d2.blocks = make(map[BlockID][]uint64, len(d.blocks))
+	for id, data := range d.blocks {
+		d2.blocks[id] = data
+	}
+	return d2
+}
+
 // AllocBlock reserves a fresh, zeroed block.
 func (d *Disk) AllocBlock() BlockID {
 	id := d.next

@@ -116,6 +116,45 @@ func New(m *machine.Machine, pm *pmap.Pmap, disk *dma.Disk, cfg Config) (*FileSy
 	return fs, nil
 }
 
+// Clone returns an independent copy of the file system wired to a
+// forked machine, pmap and disk (snapshot/fork support), plus the
+// old-File → new-File map so pagers holding file references can be
+// rebound. The buffer pool's frames were allocated and entered into the
+// pmap at boot; the cloned pmap already carries those mappings, so the
+// clone copies the buffer records as-is — re-entering them would
+// double-map.
+func (fs *FileSystem) Clone(m2 *machine.Machine, pm2 *pmap.Pmap, disk2 *dma.Disk) (*FileSystem, map[*File]*File) {
+	fs2 := &FileSystem{
+		cfg:   fs.cfg,
+		m:     m2,
+		pm:    pm2,
+		disk:  disk2,
+		geom:  fs.geom,
+		files: make(map[string]*File, len(fs.files)),
+		index: make(map[bufKey]*Buffer, len(fs.index)),
+		tick:  fs.tick,
+		stats: fs.stats,
+	}
+	fileMap := make(map[*File]*File, len(fs.files))
+	for name, f := range fs.files {
+		f2 := &File{Name: f.Name, blocks: append([]dma.BlockID(nil), f.blocks...)}
+		fs2.files[name] = f2
+		fileMap[f] = f2
+	}
+	fs2.bufs = make([]*Buffer, len(fs.bufs))
+	for i, b := range fs.bufs {
+		b2 := *b
+		if b.file != nil {
+			b2.file = fileMap[b.file]
+		}
+		fs2.bufs[i] = &b2
+		if b2.valid {
+			fs2.index[bufKey{b2.file, b2.page}] = fs2.bufs[i]
+		}
+	}
+	return fs2, fileMap
+}
+
 // Stats returns a snapshot of the counters.
 func (fs *FileSystem) Stats() Stats { return fs.stats }
 

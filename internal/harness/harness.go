@@ -116,6 +116,10 @@ type Spec struct {
 	// TraceN, when positive, attaches a ring-buffer recorder keeping
 	// the last TraceN consistency events of the timed phase.
 	TraceN int
+	// DisableSnapshots forces a cold boot even when the executor has a
+	// snapshot pool — the reference path the warm-boot identity tests
+	// compare against.
+	DisableSnapshots bool
 }
 
 // Label returns the run's display name.
@@ -144,8 +148,9 @@ func (s Spec) kernelConfig() kernel.Config {
 // Phases is the wall-clock breakdown of one Exec: where the run's real
 // (host) time went, as opposed to the simulated time the Result
 // reports. Boot covers kernel construction, Setup the workload's input
-// building plus the counter reset, Run the timed phase, and Collect the
-// final counter snapshot.
+// building plus the counter reset, Restore the fork from a pooled
+// snapshot (zero on a cold boot; on a warm hit Boot and Setup are zero
+// instead), Run the timed phase, and Collect the final counter snapshot.
 //
 // Spans are host time and therefore nondeterministic; they are carried
 // next to the Result (in Outcome.Phases and the ExecTimed return), never
@@ -154,17 +159,18 @@ func (s Spec) kernelConfig() kernel.Config {
 type Phases struct {
 	Boot    time.Duration `json:"boot"`
 	Setup   time.Duration `json:"setup"`
+	Restore time.Duration `json:"restore"`
 	Run     time.Duration `json:"run"`
 	Collect time.Duration `json:"collect"`
 }
 
 // Total is the whole-run wall clock.
 func (p Phases) Total() time.Duration {
-	return p.Boot + p.Setup + p.Run + p.Collect
+	return p.Boot + p.Setup + p.Restore + p.Run + p.Collect
 }
 
 func (p Phases) String() string {
-	return fmt.Sprintf("boot=%v setup=%v run=%v collect=%v", p.Boot, p.Setup, p.Run, p.Collect)
+	return fmt.Sprintf("boot=%v setup=%v restore=%v run=%v collect=%v", p.Boot, p.Setup, p.Restore, p.Run, p.Collect)
 }
 
 // Exec performs one run: boot a fresh system, perform setup, reset every
@@ -188,45 +194,57 @@ func ExecContext(ctx context.Context, s Spec) (Result, *trace.Recorder, error) {
 // ExecTimed is ExecContext with the wall-clock phase breakdown of the
 // run. On failure the returned Phases still covers the phases that did
 // execute, so an operator can see where a run died spending its time.
+// ExecTimed always cold-boots; ExecTimedPool adds the warm path.
 func ExecTimed(ctx context.Context, s Spec) (Result, *trace.Recorder, Phases, error) {
-	var ph Phases
-	if err := ctx.Err(); err != nil {
-		return Result{}, nil, ph, fmt.Errorf("%s/%s: %w", s.Workload.Name, s.Config.Label, err)
-	}
+	return ExecTimedPool(ctx, s, nil)
+}
+
+// boot builds the system and runs the workload's setup phase, leaving
+// every counter reset — the state both the cold path measures from and
+// the warm path snapshots. Boot and Setup spans are recorded into ph.
+func boot(ctx context.Context, s Spec, ph *Phases) (*kernel.Kernel, error) {
 	start := time.Now()
 	k, err := kernel.New(s.kernelConfig())
 	ph.Boot = time.Since(start)
 	if err != nil {
-		return Result{}, nil, ph, err
+		return nil, err
 	}
 	k.SetInterrupt(ctx.Err)
 	start = time.Now()
 	if s.Workload.Setup != nil {
 		if err := s.Workload.Setup(k, s.Scale); err != nil {
 			ph.Setup = time.Since(start)
-			return Result{}, nil, ph, fmt.Errorf("%s/%s setup: %w", s.Workload.Name, s.Config.Label, err)
+			return nil, fmt.Errorf("%s/%s setup: %w", s.Workload.Name, s.Config.Label, err)
 		}
 	}
 	resetAll(k)
 	ph.Setup = time.Since(start)
+	return k, nil
+}
+
+// measure runs the timed phase on a booted (or forked) system and
+// collects the result. The trace recorder, when requested, is attached
+// here — per run, after any fork — so captured events can never leak
+// into a shared snapshot or a sibling fork.
+func measure(s Spec, k *kernel.Kernel, ph *Phases) (Result, *trace.Recorder, error) {
 	var rec *trace.Recorder
 	if s.TraceN > 0 {
 		rec = trace.NewRecorder(s.TraceN)
 		k.PM.SetTracer(rec)
 		k.M.SetTracer(rec)
 	}
-	start = time.Now()
+	start := time.Now()
 	if s.Workload.Run != nil {
 		if err := s.Workload.Run(k, s.Scale); err != nil {
 			ph.Run = time.Since(start)
-			return Result{}, nil, ph, fmt.Errorf("%s/%s: %w", s.Workload.Name, s.Config.Label, err)
+			return Result{}, nil, fmt.Errorf("%s/%s: %w", s.Workload.Name, s.Config.Label, err)
 		}
 	}
 	ph.Run = time.Since(start)
 	start = time.Now()
 	res := Collect(s.Workload.Name, s.Config, k)
 	ph.Collect = time.Since(start)
-	return res, rec, ph, nil
+	return res, rec, nil
 }
 
 // resetAll zeroes every counter in the system so the measured phase

@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"testing"
+
+	"vcache/internal/kernel"
+	"vcache/internal/policy"
+)
+
+// testSnapshot boots one minimal kernel and freezes it — a real image,
+// so Bytes accounting is exercised with real geometry.
+func testSnapshot(t *testing.T) *kernel.Snapshot {
+	t.Helper()
+	k, err := kernel.New(kernel.DefaultConfig(policy.New()))
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	return k.Snapshot()
+}
+
+// TestSnapshotPoolLRU walks the pool across its eviction boundary and
+// checks entry count, byte accounting, LRU order, and the hit/miss/
+// eviction counters — the snapshot-pool mirror of the service's
+// result-cache eviction test.
+func TestSnapshotPoolLRU(t *testing.T) {
+	snap := testSnapshot(t)
+	per := snap.Bytes()
+	if per <= 0 {
+		t.Fatalf("snapshot accounts %d bytes, want > 0", per)
+	}
+	p := NewSnapshotPool(2)
+	p.put("a", snap)
+	p.put("b", snap)
+	if s := p.Stats(); s.Entries != 2 || s.Bytes != 2*per || s.Evictions != 0 {
+		t.Fatalf("before eviction: %+v", s)
+	}
+
+	// Third insert crosses the capacity boundary: "a" (LRU) goes.
+	p.put("c", snap)
+	if s := p.Stats(); s.Entries != 2 || s.Evictions != 1 || s.Bytes != 2*per {
+		t.Fatalf("after first eviction: %+v", s)
+	}
+	if p.get("a") != nil {
+		t.Fatal("evicted image still retrievable")
+	}
+
+	// Touch "b" so it is MRU, then insert again: "c" must go, not "b".
+	if p.get("b") == nil {
+		t.Fatal("image b missing before second eviction")
+	}
+	p.put("d", snap)
+	if p.get("c") != nil {
+		t.Fatal("LRU order ignored: c survived while recently-used b should")
+	}
+	if p.get("b") == nil {
+		t.Fatal("recently-used image b was evicted")
+	}
+	s := p.Stats()
+	if s.Entries != 2 || s.Evictions != 2 || s.Bytes != 2*per {
+		t.Fatalf("after second eviction: %+v", s)
+	}
+	if s.Hits != 2 || s.Misses != 2 {
+		t.Fatalf("counters = %d hits / %d misses, want 2/2", s.Hits, s.Misses)
+	}
+
+	// An in-place replace adjusts by the size delta (zero here) and must
+	// not evict or double-count.
+	p.put("b", snap)
+	if s := p.Stats(); s.Entries != 2 || s.Evictions != 2 || s.Bytes != 2*per {
+		t.Fatalf("after in-place replace: %+v", s)
+	}
+}
+
+// TestSnapshotPoolDisabled pins the disabled form: a non-positive
+// capacity yields a nil pool, which is a valid executor argument (cold
+// path) and reports zero stats without panicking.
+func TestSnapshotPoolDisabled(t *testing.T) {
+	for _, capacity := range []int{0, -1, -512} {
+		if p := NewSnapshotPool(capacity); p != nil {
+			t.Fatalf("NewSnapshotPool(%d) = %v, want nil (disabled)", capacity, p)
+		}
+	}
+	var p *SnapshotPool
+	if s := p.Stats(); s != (SnapshotPoolStats{}) {
+		t.Fatalf("nil pool stats = %+v, want zeros", s)
+	}
+}

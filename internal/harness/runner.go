@@ -79,6 +79,12 @@ type Runner struct {
 	// itself or the other, so hooks may write to a shared log.
 	OnStart func(index int, s Spec)
 	OnDone  func(o Outcome)
+	// Snapshots, when set, is the warm-boot pool: each entry boots once
+	// per (config, workload, scale) key and later entries fork the
+	// pooled post-setup image instead of re-booting (see ExecTimedPool).
+	// Safe to share across concurrent workers and runners. Nil means
+	// every run cold-boots.
+	Snapshots *SnapshotPool
 
 	hookMu sync.Mutex
 }
@@ -177,7 +183,7 @@ func (r *Runner) runOne(ctx context.Context, i int, s Spec) Outcome {
 				o.Err = &RunError{Index: i, Spec: s, PanicValue: v, Stack: string(debug.Stack())}
 			}
 		}()
-		res, rec, ph, err := ExecTimed(ctx, s)
+		res, rec, ph, err := ExecTimedPool(ctx, s, r.Snapshots)
 		o.Phases = ph
 		if err != nil {
 			o.Err = &RunError{Index: i, Spec: s, Err: err}

@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"vcache/internal/kernel"
+	"vcache/internal/trace"
+)
+
+// SnapshotKey content-addresses a booted machine image the same way the
+// service keys result bodies: the SHA-256 of the canonical JSON of
+// everything that determines the post-setup state — the resolved kernel
+// configuration (machine geometry, frame count, policy features, timing,
+// fast-path switches) and the workload prefix (name plus scale factor)
+// whose Setup ran before the image was taken.
+//
+// Deliberately NOT in the key: TraceN (tracing is pure observation,
+// attached per fork) and DisableSnapshots (it selects the reference
+// path, it does not change machine state).
+func (s Spec) SnapshotKey() string {
+	payload := struct {
+		Kernel   kernel.Config `json:"kernel"`
+		Workload string        `json:"workload"`
+		Scale    float64       `json:"scale"`
+	}{s.kernelConfig(), s.Workload.Name, s.Scale.Factor}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		// Config types are plain data; marshalling cannot fail short of
+		// a programming error, which must not silently alias images.
+		panic(fmt.Sprintf("harness: snapshot key: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// SnapshotPoolStats is an atomic view of the pool's counters.
+type SnapshotPoolStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	Bytes     int64
+}
+
+type snapshotEntry struct {
+	key   string
+	snap  *kernel.Snapshot
+	bytes int64
+}
+
+// SnapshotPool is an LRU cache of frozen machine images, keyed by
+// SnapshotKey. It is safe for concurrent use: lookups and insertions are
+// serialized, while forking from a retrieved (frozen) snapshot needs no
+// lock at all — that is the point of freezing.
+type SnapshotPool struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recently used
+	byKey map[string]*list.Element // -> *snapshotEntry
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	bytes     int64
+}
+
+// NewSnapshotPool returns a pool holding up to capacity images; a
+// capacity <= 0 returns nil (pooling disabled — a nil pool is valid and
+// makes every executor take the cold path).
+func NewSnapshotPool(capacity int) *SnapshotPool {
+	if capacity <= 0 {
+		return nil
+	}
+	return &SnapshotPool{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the pooled image for key, counting a hit or miss.
+func (p *SnapshotPool) get(key string) *kernel.Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.byKey[key]; ok {
+		p.hits++
+		p.ll.MoveToFront(el)
+		return el.Value.(*snapshotEntry).snap
+	}
+	p.misses++
+	return nil
+}
+
+// put inserts (or replaces) the image for key, evicting least recently
+// used images beyond capacity. Two executors racing on the same miss may
+// both boot and put; the later insert replaces the earlier, and both
+// forks remain valid — a frozen image never changes under its forks.
+func (p *SnapshotPool) put(key string, snap *kernel.Snapshot) {
+	bytes := snap.Bytes()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.byKey[key]; ok {
+		e := el.Value.(*snapshotEntry)
+		p.bytes += bytes - e.bytes
+		e.snap = snap
+		e.bytes = bytes
+		p.ll.MoveToFront(el)
+		return
+	}
+	p.byKey[key] = p.ll.PushFront(&snapshotEntry{key: key, snap: snap, bytes: bytes})
+	p.bytes += bytes
+	for p.cap > 0 && p.ll.Len() > p.cap {
+		el := p.ll.Back()
+		e := el.Value.(*snapshotEntry)
+		p.ll.Remove(el)
+		delete(p.byKey, e.key)
+		p.bytes -= e.bytes
+		p.evictions++
+	}
+}
+
+// Stats returns the pool counters. A nil pool reports zeros.
+func (p *SnapshotPool) Stats() SnapshotPoolStats {
+	if p == nil {
+		return SnapshotPoolStats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return SnapshotPoolStats{
+		Hits:      p.hits,
+		Misses:    p.misses,
+		Evictions: p.evictions,
+		Entries:   p.ll.Len(),
+		Bytes:     p.bytes,
+	}
+}
+
+// ExecTimedPool is ExecTimed with a warm-boot path: when pool is
+// non-nil and the Spec allows snapshots, the run forks a pooled
+// post-setup machine image (Restore phase) instead of booting and
+// setting up from scratch (Boot + Setup phases). The first run of a
+// (config, workload, scale) combination boots cold, snapshots the
+// post-setup state, and pools it; every later run forks it in O(dirtied
+// pages). Results are byte-identical either way — the fork protocol
+// copies every piece of machine state the workload can observe — which
+// TestSnapshotForkIdentity proves against the DisableSnapshots
+// reference path.
+func ExecTimedPool(ctx context.Context, s Spec, pool *SnapshotPool) (Result, *trace.Recorder, Phases, error) {
+	var ph Phases
+	if err := ctx.Err(); err != nil {
+		return Result{}, nil, ph, fmt.Errorf("%s/%s: %w", s.Workload.Name, s.Config.Label, err)
+	}
+	var k *kernel.Kernel
+	if pool == nil || s.DisableSnapshots {
+		var err error
+		if k, err = boot(ctx, s, &ph); err != nil {
+			return Result{}, nil, ph, err
+		}
+	} else {
+		key := s.SnapshotKey()
+		snap := pool.get(key)
+		if snap == nil {
+			cold, err := boot(ctx, s, &ph)
+			if err != nil {
+				return Result{}, nil, ph, err
+			}
+			snap = cold.Snapshot()
+			pool.put(key, snap)
+		}
+		start := time.Now()
+		k = snap.Fork()
+		ph.Restore = time.Since(start)
+		k.SetInterrupt(ctx.Err)
+	}
+	res, rec, err := measure(s, k, &ph)
+	if err != nil {
+		return Result{}, nil, ph, err
+	}
+	return res, rec, ph, nil
+}

@@ -269,6 +269,41 @@ func New(cfg Config) (*Machine, error) {
 	return m, nil
 }
 
+// Clone returns an independent copy of the machine: memory forks
+// copy-on-write (see mem.Fork), caches, TLBs, clock, oracle and stats
+// copy deeply. The walker, fault handler and tracer are deliberately NOT
+// carried over — they point into the kernel and observation stack of the
+// original run, and the caller (kernel.Clone) rewires them to the fork's
+// own instances. In particular the tracer must be reattached per fork:
+// serializing it into the image would leak one run's events into the
+// shared snapshot and its sibling forks.
+func (m *Machine) Clone() *Machine {
+	m2 := *m
+	m2.Mem = m.Mem.Fork()
+	m2.Clock = m.Clock.Clone()
+	m2.Oracle = m.Oracle.Clone()
+	m2.walker = nil
+	m2.handler = nil
+	m2.tracer = nil
+	m2.cpus = make([]CPU, len(m.cpus))
+	for i := range m.cpus {
+		c := m.cpus[i] // keeps the micro-TLB hint fields
+		c.DCache = c.DCache.Clone(m2.Mem, m2.Clock)
+		c.ICache = c.ICache.Clone(m2.Mem, m2.Clock)
+		c.TLB = c.TLB.Clone(m2.Clock)
+		m2.cpus[i] = c
+	}
+	m2.DCache = m2.cpus[0].DCache
+	m2.ICache = m2.cpus[0].ICache
+	m2.TLB = m2.cpus[0].TLB
+	return &m2
+}
+
+// Freeze marks the machine's memory as an immutable snapshot image so
+// Clone may be called concurrently (see mem.Freeze). A frozen machine
+// must not execute further accesses.
+func (m *Machine) Freeze() { m.Mem.Freeze() }
+
 // SetWalker installs the page-table walker (the pmap layer).
 func (m *Machine) SetWalker(w tlb.Walker) { m.walker = w }
 

@@ -118,6 +118,23 @@ func (a *Allocator) Alloc(wantColor arch.CachePage) (arch.PFN, bool, error) {
 	return 0, false, fmt.Errorf("mem: free-list accounting corrupted")
 }
 
+// Clone returns an independent copy of the allocator, preserving the
+// exact order of every free list so a forked machine recycles frames in
+// the same sequence the original would have.
+func (a *Allocator) Clone() *Allocator {
+	a2 := *a
+	a2.free = append([]arch.PFN(nil), a.free...)
+	a2.byColor = make([][]arch.PFN, len(a.byColor))
+	for c, lst := range a.byColor {
+		a2.byColor[c] = append([]arch.PFN(nil), lst...)
+	}
+	a2.color = make(map[arch.PFN]arch.CachePage, len(a.color))
+	for f, c := range a.color {
+		a2.color[f] = c
+	}
+	return &a2
+}
+
 // FreeFrame returns a frame to the allocator. lastColor is the data-cache
 // color the frame was last mapped at (arch.NoCachePage if it was never
 // mapped); ColoredLists uses it to sort the frame into the right list.

@@ -7,6 +7,13 @@
 // maintains consistency — producing a memory system that can hold stale
 // data is precisely the point of the simulation.
 //
+// Memory is stored as one page-sized word slice per physical frame so
+// that the whole image can be forked copy-on-write: Fork shares every
+// page between parent and child and the first write to a shared page
+// privatizes just that page. A forked machine therefore costs O(dirtied
+// pages), not O(memory) — the mechanism behind kernel snapshots and the
+// harness's warm-boot path.
+//
 // The allocator supports two modes mirroring the paper's Section 5.1
 // discussion: a single free list (frames come back in effectively random
 // cache colors, which is what makes new-mapping purges so frequent), and
@@ -16,14 +23,26 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"vcache/internal/arch"
 )
 
 // Memory is the simulated physical memory.
 type Memory struct {
-	geom  arch.Geometry
-	words []uint64
+	geom   arch.Geometry
+	nwords uint64
+	wshift uint // log2(words per page)
+	wmask  uint64
+
+	// pages holds one word slice per physical frame. owned[i] reports
+	// whether this Memory may write pages[i] in place; a page inherited
+	// from a Fork is shared (owned=false) until the first write copies
+	// it. frozen marks a snapshot image: Fork leaves a frozen parent
+	// untouched, so any number of forks may be taken concurrently.
+	pages  [][]uint64
+	owned  []bool
+	frozen bool
 }
 
 // New creates a physical memory of the given number of frames.
@@ -34,55 +53,164 @@ func New(geom arch.Geometry, frames int) (*Memory, error) {
 	if frames <= 0 {
 		return nil, fmt.Errorf("mem: frame count must be positive, got %d", frames)
 	}
-	return &Memory{
-		geom:  geom,
-		words: make([]uint64, uint64(frames)*geom.WordsPerPage()),
-	}, nil
+	wpp := geom.WordsPerPage()
+	m := &Memory{
+		geom:   geom,
+		nwords: uint64(frames) * wpp,
+		wshift: uint(bits.TrailingZeros64(wpp)),
+		wmask:  wpp - 1,
+		pages:  make([][]uint64, frames),
+		owned:  make([]bool, frames),
+	}
+	// One backing allocation, carved into per-frame pages: a fresh
+	// (never forked) memory is as contiguous as the old flat layout.
+	backing := make([]uint64, m.nwords)
+	for i := range m.pages {
+		m.pages[i] = backing[:wpp:wpp]
+		backing = backing[wpp:]
+		m.owned[i] = true
+	}
+	return m, nil
 }
 
 // Frames returns the number of physical frames.
-func (m *Memory) Frames() int {
-	return int(uint64(len(m.words)) / m.geom.WordsPerPage())
-}
+func (m *Memory) Frames() int { return len(m.pages) }
 
 // Geometry returns the machine geometry.
 func (m *Memory) Geometry() arch.Geometry { return m.geom }
 
 func (m *Memory) wordIndex(pa arch.PA) uint64 {
 	idx := uint64(pa) / arch.WordSize
-	if idx >= uint64(len(m.words)) {
+	if idx >= m.nwords {
 		panic(fmt.Sprintf("mem: physical address %#x out of range", uint64(pa)))
 	}
 	return idx
 }
 
+// privatize makes page pg writable by this Memory, copying it first if
+// it is still shared with a fork parent or sibling.
+func (m *Memory) privatize(pg uint64) {
+	if m.owned[pg] {
+		return
+	}
+	shared := m.pages[pg]
+	private := make([]uint64, len(shared))
+	copy(private, shared)
+	m.pages[pg] = private
+	m.owned[pg] = true
+}
+
+// Fork returns a copy-on-write child sharing every page with m. The
+// child is independently writable: its first write to a page gets a
+// private copy. Forking an unfrozen parent drops the parent's ownership
+// of every page (the parent, too, copies on its next write); a frozen
+// parent (see Freeze) is not modified at all, which is what makes
+// concurrent forks from one shared snapshot safe.
+func (m *Memory) Fork() *Memory {
+	child := &Memory{
+		geom:   m.geom,
+		nwords: m.nwords,
+		wshift: m.wshift,
+		wmask:  m.wmask,
+		pages:  append([][]uint64(nil), m.pages...),
+		owned:  make([]bool, len(m.pages)),
+	}
+	if !m.frozen {
+		for i := range m.owned {
+			m.owned[i] = false
+		}
+	}
+	return child
+}
+
+// Freeze marks the memory as an immutable snapshot image: Fork no longer
+// mutates it, so forks may be taken from it concurrently. The caller
+// must not write a frozen memory (the snapshot kernel is never run).
+func (m *Memory) Freeze() { m.frozen = true }
+
+// SharedPages reports how many pages are still shared with a fork
+// parent or sibling (not privately owned) — the complement of the fork's
+// copy-on-write cost so far.
+func (m *Memory) SharedPages() int {
+	n := 0
+	for _, o := range m.owned {
+		if !o {
+			n++
+		}
+	}
+	return n
+}
+
+// Bytes returns the logical size of the memory image in bytes.
+func (m *Memory) Bytes() int64 { return int64(m.nwords) * arch.WordSize }
+
 // ReadWord returns the word at physical address pa (word-aligned).
-func (m *Memory) ReadWord(pa arch.PA) uint64 { return m.words[m.wordIndex(pa)] }
+func (m *Memory) ReadWord(pa arch.PA) uint64 {
+	idx := m.wordIndex(pa)
+	return m.pages[idx>>m.wshift][idx&m.wmask]
+}
 
 // WriteWord stores v at physical address pa (word-aligned).
-func (m *Memory) WriteWord(pa arch.PA, v uint64) { m.words[m.wordIndex(pa)] = v }
+func (m *Memory) WriteWord(pa arch.PA, v uint64) {
+	idx := m.wordIndex(pa)
+	pg := idx >> m.wshift
+	m.privatize(pg)
+	m.pages[pg][idx&m.wmask] = v
+}
 
-// ReadLine copies the cache line starting at pa into dst.
+// ReadLine copies the cache line starting at pa into dst. Lines are
+// line-aligned and line size divides page size, so a line never crosses
+// a page boundary.
 func (m *Memory) ReadLine(pa arch.PA, dst []uint64) {
-	base := m.wordIndex(pa)
-	copy(dst, m.words[base:base+uint64(len(dst))])
+	idx := m.wordIndex(pa)
+	off := idx & m.wmask
+	copy(dst, m.pages[idx>>m.wshift][off:off+uint64(len(dst))])
 }
 
 // WriteLine stores the cache line src starting at physical address pa.
 func (m *Memory) WriteLine(pa arch.PA, src []uint64) {
-	base := m.wordIndex(pa)
-	copy(m.words[base:base+uint64(len(src))], src)
+	idx := m.wordIndex(pa)
+	pg := idx >> m.wshift
+	m.privatize(pg)
+	off := idx & m.wmask
+	copy(m.pages[pg][off:off+uint64(len(src))], src)
 }
 
 // ReadWords copies len(dst) consecutive words starting at pa into dst —
-// the bulk DMA path's word loop as one slice copy.
+// the bulk DMA path's word loop as slice copies, chunked per page (a DMA
+// transfer may cross frame boundaries).
 func (m *Memory) ReadWords(pa arch.PA, dst []uint64) {
-	base := m.wordIndex(pa)
-	copy(dst, m.words[base:base+uint64(len(dst))])
+	idx := m.wordIndex(pa)
+	for len(dst) > 0 {
+		pg, off := idx>>m.wshift, idx&m.wmask
+		n := uint64(len(m.pages[pg])) - off
+		if n > uint64(len(dst)) {
+			n = uint64(len(dst))
+		}
+		copy(dst[:n], m.pages[pg][off:off+n])
+		dst = dst[n:]
+		idx += n
+		if len(dst) > 0 && idx >= m.nwords {
+			panic(fmt.Sprintf("mem: physical address %#x out of range", idx*arch.WordSize))
+		}
+	}
 }
 
 // WriteWords stores src at consecutive words starting at pa.
 func (m *Memory) WriteWords(pa arch.PA, src []uint64) {
-	base := m.wordIndex(pa)
-	copy(m.words[base:base+uint64(len(src))], src)
+	idx := m.wordIndex(pa)
+	for len(src) > 0 {
+		pg, off := idx>>m.wshift, idx&m.wmask
+		m.privatize(pg)
+		n := uint64(len(m.pages[pg])) - off
+		if n > uint64(len(src)) {
+			n = uint64(len(src))
+		}
+		copy(m.pages[pg][off:off+n], src[:n])
+		src = src[n:]
+		idx += n
+		if len(src) > 0 && idx >= m.nwords {
+			panic(fmt.Sprintf("mem: physical address %#x out of range", idx*arch.WordSize))
+		}
+	}
 }

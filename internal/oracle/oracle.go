@@ -110,6 +110,21 @@ func (o *Oracle) Observe(c Consumer, pa arch.PA, got uint64) {
 	}
 }
 
+// Clone returns an independent copy of the oracle (snapshot/fork
+// support). A nil oracle clones to nil. FailFast is deliberately not
+// carried over: it is a test hook bound to the run that installed it,
+// not part of the machine image.
+func (o *Oracle) Clone() *Oracle {
+	if o == nil {
+		return nil
+	}
+	return &Oracle{
+		shadow:     append([]uint64(nil), o.shadow...),
+		violations: append([]Violation(nil), o.violations...),
+		checks:     o.checks,
+	}
+}
+
 // Checks returns how many transfers were checked.
 func (o *Oracle) Checks() uint64 {
 	if o == nil {

@@ -1,0 +1,68 @@
+package pmap
+
+import (
+	"vcache/internal/arch"
+	"vcache/internal/core"
+	"vcache/internal/machine"
+)
+
+// Clone returns an independent copy of the pmap wired to forked machine
+// m2 (snapshot/fork support), registering itself as m2's page-table
+// walker. Page tables, the physical page database, the window pool, the
+// preparation cursor, and the frame allocator are all copied deeply —
+// the allocator's free-list order in particular, so a fork recycles
+// frames in exactly the sequence the original would have. The tracer is
+// deliberately not carried over: trace capture is attached per run,
+// after forking, so no fork's events can leak into the shared snapshot
+// or a sibling.
+func (p *Pmap) Clone(m2 *machine.Machine) *Pmap {
+	p2 := &Pmap{
+		geom:        p.geom,
+		m:           m2,
+		alloc:       p.alloc.Clone(),
+		feat:        p.feat,
+		tables:      make(map[arch.SpaceID]map[arch.VPN]*pte, len(p.tables)),
+		phys:        make([]physPage, len(p.phys)),
+		windows:     p.windows.clone(),
+		prepCursor:  p.prepCursor,
+		dColors:     p.dColors,
+		iColors:     p.iColors,
+		stats:       p.stats,
+		accessIsNew: p.accessIsNew,
+	}
+	for space, t := range p.tables {
+		t2 := make(map[arch.VPN]*pte, len(t))
+		for vpn, e := range t {
+			e2 := *e
+			t2[vpn] = &e2
+		}
+		p2.tables[space] = t2
+	}
+	for f := range p.phys {
+		pp := &p.phys[f]
+		pp2 := &p2.phys[f]
+		*pp2 = *pp
+		if pp.mappings != nil {
+			pp2.mappings = append([]core.Mapping(nil), pp.mappings...)
+		}
+		if pp.kinds != nil {
+			pp2.kinds = make(map[core.Mapping]MappingKind, len(pp.kinds))
+			for m, k := range pp.kinds {
+				pp2.kinds[m] = k
+			}
+		}
+	}
+	p2.ctl = p.ctl.Clone(p2, p2)
+	m2.SetWalker(p2)
+	return p2
+}
+
+// clone returns a deep copy of the window pool, preserving the LIFO
+// order of each per-color free list.
+func (wp *windowPool) clone() *windowPool {
+	wp2 := &windowPool{ncolors: wp.ncolors, free: make([][]arch.VPN, len(wp.free))}
+	for c, lst := range wp.free {
+		wp2.free[c] = append([]arch.VPN(nil), lst...)
+	}
+	return wp2
+}

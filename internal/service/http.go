@@ -280,6 +280,7 @@ type phaseLog struct {
 	ResolveMS float64 `json:"resolve_ms"`
 	BootMS    float64 `json:"boot_ms,omitempty"`
 	SetupMS   float64 `json:"setup_ms,omitempty"`
+	RestoreMS float64 `json:"restore_ms,omitempty"`
 	RunMS     float64 `json:"run_ms,omitempty"`
 	CollectMS float64 `json:"collect_ms,omitempty"`
 	CheckMS   float64 `json:"check_ms,omitempty"`
@@ -294,6 +295,7 @@ func (p *phaseLog) fill(rp *RunPhases) {
 	}
 	p.BootMS = ms(rp.Harness.Boot)
 	p.SetupMS = ms(rp.Harness.Setup)
+	p.RestoreMS = ms(rp.Harness.Restore)
 	p.RunMS = ms(rp.Harness.Run)
 	p.CollectMS = ms(rp.Harness.Collect)
 	p.CheckMS = ms(rp.Check)
@@ -307,8 +309,8 @@ func (p *phaseLog) header() string {
 	if p == nil || !p.hasRun {
 		return ""
 	}
-	return fmt.Sprintf("resolve=%.3fms boot=%.3fms setup=%.3fms run=%.3fms collect=%.3fms check=%.3fms encode=%.3fms",
-		p.ResolveMS, p.BootMS, p.SetupMS, p.RunMS, p.CollectMS, p.CheckMS, p.EncodeMS)
+	return fmt.Sprintf("resolve=%.3fms boot=%.3fms setup=%.3fms restore=%.3fms run=%.3fms collect=%.3fms check=%.3fms encode=%.3fms",
+		p.ResolveMS, p.BootMS, p.SetupMS, p.RestoreMS, p.RunMS, p.CollectMS, p.CheckMS, p.EncodeMS)
 }
 
 // accessLog is one structured request-log line.

@@ -93,23 +93,28 @@ func (m *metrics) observeRun(workload, config string, d time.Duration) {
 // Snapshot is a point-in-time view of every service counter, for tests
 // and for the /metrics rendering.
 type Snapshot struct {
-	Requests         uint64
-	CacheHits        uint64
-	CacheMisses      uint64
-	CacheEntries     int
-	CacheBytes       int64
-	CacheEvictions   uint64
-	SingleflightHits uint64
-	RunsStarted      uint64
-	RunsCompleted    uint64
-	RunErrors        uint64
-	RunTimeouts      uint64
-	RejectedInvalid  uint64
-	RejectedQueue    uint64
-	RejectedDraining uint64
-	Timeouts         uint64
-	QueueDepth       int64
-	RunsInflight     int64
+	Requests          uint64
+	CacheHits         uint64
+	CacheMisses       uint64
+	CacheEntries      int
+	CacheBytes        int64
+	CacheEvictions    uint64
+	SnapshotHits      uint64
+	SnapshotMisses    uint64
+	SnapshotEvictions uint64
+	SnapshotEntries   int
+	SnapshotBytes     int64
+	SingleflightHits  uint64
+	RunsStarted       uint64
+	RunsCompleted     uint64
+	RunErrors         uint64
+	RunTimeouts       uint64
+	RejectedInvalid   uint64
+	RejectedQueue     uint64
+	RejectedDraining  uint64
+	Timeouts          uint64
+	QueueDepth        int64
+	RunsInflight      int64
 }
 
 // renderHist emits one Prometheus-style histogram. labels is the
@@ -149,6 +154,11 @@ func (m *metrics) render(b *strings.Builder, s Snapshot) {
 	counter("cache_evictions_total", s.CacheEvictions)
 	fmt.Fprintf(b, "vcached_cache_entries %d\n", s.CacheEntries)
 	fmt.Fprintf(b, "vcached_cache_bytes %d\n", s.CacheBytes)
+	counter("snapshot_hits_total", s.SnapshotHits)
+	counter("snapshot_misses_total", s.SnapshotMisses)
+	counter("snapshot_evictions_total", s.SnapshotEvictions)
+	fmt.Fprintf(b, "vcached_snapshot_pool_entries %d\n", s.SnapshotEntries)
+	fmt.Fprintf(b, "vcached_snapshot_pool_bytes %d\n", s.SnapshotBytes)
 	counter("singleflight_hits_total", s.SingleflightHits)
 	counter("runs_started_total", s.RunsStarted)
 	counter("runs_completed_total", s.RunsCompleted)

@@ -56,6 +56,12 @@ type Config struct {
 	// CacheEntries bounds the content-addressed result cache (LRU);
 	// <= 0 means 512.
 	CacheEntries int
+	// SnapshotPool bounds the warm-boot pool of frozen machine images
+	// (entries; each is one booted, post-setup kernel keyed by config ×
+	// workload × scale). <= 0 disables pooling: every backing run boots
+	// cold. Unlike the result cache there is no default pin — images are
+	// large, so pooling is strictly opt-in.
+	SnapshotPool int
 	// DefaultTimeout bounds how long a request waits for its result when
 	// it does not carry its own timeout_ms; <= 0 means 60s.
 	DefaultTimeout time.Duration
@@ -107,7 +113,10 @@ type Service struct {
 	runner *harness.Runner
 	cache  *resultCache
 	flight *flightGroup
-	m      metrics
+	// snapshots is the warm-boot pool shared by every backing run (nil
+	// when Config.SnapshotPool <= 0); its counters surface on /metrics.
+	snapshots *harness.SnapshotPool
+	m         metrics
 
 	// sem holds one token per running backing simulation.
 	sem chan struct{}
@@ -136,11 +145,13 @@ type Service struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	base, cancel := context.WithCancel(context.Background())
+	pool := harness.NewSnapshotPool(cfg.SnapshotPool)
 	return &Service{
 		cfg:        cfg,
-		runner:     &harness.Runner{Workers: 1},
+		runner:     &harness.Runner{Workers: 1, Snapshots: pool},
 		cache:      newResultCache(cfg.CacheEntries),
 		flight:     newFlightGroup(),
+		snapshots:  pool,
 		sem:        make(chan struct{}, cfg.MaxConcurrent),
 		base:       base,
 		cancelBase: cancel,
@@ -415,6 +426,12 @@ func (s *Service) Metrics() Snapshot {
 	snap.CacheEntries = cs.Entries
 	snap.CacheBytes = cs.Bytes
 	snap.CacheEvictions = cs.Evictions
+	ss := s.snapshots.Stats() // nil-safe: a disabled pool reports zeros
+	snap.SnapshotHits = ss.Hits
+	snap.SnapshotMisses = ss.Misses
+	snap.SnapshotEvictions = ss.Evictions
+	snap.SnapshotEntries = ss.Entries
+	snap.SnapshotBytes = ss.Bytes
 	snap.QueueDepth = s.queued.Load()
 	snap.RunsInflight = s.inflight.Load()
 	return snap

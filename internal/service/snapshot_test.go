@@ -1,0 +1,149 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// postRunHeaders is postRun plus the full response header set, for
+// asserting on X-Vcache-Phases.
+func postRunHeaders(t *testing.T, srv *httptest.Server, req RunRequest) (int, http.Header, []byte) {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+"/run", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body.Bytes()
+}
+
+// TestSnapshotPoolMetricsRendered drives the warm-boot path end to end
+// through the HTTP surface and checks the pool counters on /metrics. A
+// repeated identical request is served from the result cache and never
+// reaches the pool, so the warm run is forced with a traced repeat: a
+// traced request always executes a backing run (the cached body holds
+// no events) but shares the snapshot key, so it forks the pooled image.
+func TestSnapshotPoolMetricsRendered(t *testing.T) {
+	svc := New(Config{MaxConcurrent: 1, SnapshotPool: 2})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	defer svc.Shutdown(context.Background())
+
+	req := RunRequest{Workload: "kernel-build", Config: "F", Scale: 0.05}
+	if status, _, body := postRun(t, srv, req); status != http.StatusOK {
+		t.Fatalf("cold run: status %d: %s", status, body)
+	}
+	traced := req
+	traced.Trace = 16
+	status, hdr, body := postRunHeaders(t, srv, traced)
+	if status != http.StatusOK {
+		t.Fatalf("traced warm run: status %d: %s", status, body)
+	}
+	// The warm run's phase header reports the restore span in place of
+	// boot/setup work.
+	if ph := hdr.Get("X-Vcache-Phases"); !strings.Contains(ph, "restore=") {
+		t.Errorf("X-Vcache-Phases missing the restore span: %q", ph)
+	}
+
+	snap := svc.Metrics()
+	if snap.SnapshotHits != 1 || snap.SnapshotMisses != 1 || snap.SnapshotEntries != 1 {
+		t.Fatalf("pool counters = %d hits / %d misses / %d entries, want 1/1/1",
+			snap.SnapshotHits, snap.SnapshotMisses, snap.SnapshotEntries)
+	}
+	if snap.SnapshotBytes <= 0 {
+		t.Fatalf("pooled image accounts %d bytes, want > 0", snap.SnapshotBytes)
+	}
+	text := metricsText(t, srv)
+	for _, want := range []string{
+		"vcached_snapshot_hits_total 1\n",
+		"vcached_snapshot_misses_total 1\n",
+		"vcached_snapshot_evictions_total 0\n",
+		"vcached_snapshot_pool_entries 1\n",
+		fmt.Sprintf("vcached_snapshot_pool_bytes %d\n", snap.SnapshotBytes),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestSnapshotPoolEviction crosses the pool's capacity boundary through
+// the serving path: with one slot, each new (config, workload, scale)
+// image evicts the previous one, and a re-run of the evicted spec must
+// boot cold again (a miss, never a stale hit).
+func TestSnapshotPoolEviction(t *testing.T) {
+	svc := New(Config{MaxConcurrent: 1, SnapshotPool: 1})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	defer svc.Shutdown(context.Background())
+
+	a := RunRequest{Workload: "kernel-build", Config: "A", Scale: 0.05}
+	f := RunRequest{Workload: "kernel-build", Config: "F", Scale: 0.05}
+	for _, req := range []RunRequest{a, f} {
+		if status, _, body := postRun(t, srv, req); status != http.StatusOK {
+			t.Fatalf("%s run: status %d: %s", req.Config, status, body)
+		}
+	}
+	snap := svc.Metrics()
+	if snap.SnapshotMisses != 2 || snap.SnapshotEvictions != 1 || snap.SnapshotEntries != 1 {
+		t.Fatalf("after overfill: %d misses / %d evictions / %d entries, want 2/1/1",
+			snap.SnapshotMisses, snap.SnapshotEvictions, snap.SnapshotEntries)
+	}
+	// A's image was evicted, so forcing a backing run for A (traced, to
+	// bypass the result cache) misses again and in turn evicts F.
+	a2 := a
+	a2.Trace = 8
+	if status, _, body := postRun(t, srv, a2); status != http.StatusOK {
+		t.Fatalf("traced re-run: status %d: %s", status, body)
+	}
+	snap = svc.Metrics()
+	if snap.SnapshotHits != 0 || snap.SnapshotMisses != 3 || snap.SnapshotEvictions != 2 || snap.SnapshotEntries != 1 {
+		t.Fatalf("after evicted re-run: %d hits / %d misses / %d evictions / %d entries, want 0/3/2/1",
+			snap.SnapshotHits, snap.SnapshotMisses, snap.SnapshotEvictions, snap.SnapshotEntries)
+	}
+	if !strings.Contains(metricsText(t, srv), "vcached_snapshot_evictions_total 2\n") {
+		t.Error("metrics exposition does not report the evictions")
+	}
+}
+
+// TestSnapshotPoolDisabledByDefault pins the opt-in contract: without
+// SnapshotPool the service cold-boots every run, the counters stay at
+// zero, and the exposition still renders the (zero) series.
+func TestSnapshotPoolDisabledByDefault(t *testing.T) {
+	svc := New(Config{MaxConcurrent: 1})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	defer svc.Shutdown(context.Background())
+
+	if status, _, body := postRun(t, srv, RunRequest{Workload: "kernel-build", Config: "F", Scale: 0.05}); status != http.StatusOK {
+		t.Fatalf("run: status %d: %s", status, body)
+	}
+	snap := svc.Metrics()
+	if snap.SnapshotHits != 0 || snap.SnapshotMisses != 0 || snap.SnapshotEntries != 0 || snap.SnapshotBytes != 0 {
+		t.Fatalf("disabled pool moved its counters: %+v", snap)
+	}
+	text := metricsText(t, srv)
+	for _, want := range []string{
+		"vcached_snapshot_misses_total 0\n",
+		"vcached_snapshot_pool_entries 0\n",
+		"vcached_snapshot_pool_bytes 0\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, text)
+		}
+	}
+}

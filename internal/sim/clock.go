@@ -92,3 +92,10 @@ func (c *Clock) Reset() {
 	c.cycles = 0
 	c.byCat = [numCategories]uint64{}
 }
+
+// Clone returns an independent copy of the clock (snapshot/fork support).
+// The accumulators are plain values, so a struct copy suffices.
+func (c *Clock) Clone() *Clock {
+	c2 := *c
+	return &c2
+}

@@ -98,6 +98,21 @@ func New(entries int, clock *sim.Clock) *TLB {
 // Stats returns a snapshot of the counters.
 func (t *TLB) Stats() Stats { return t.stats }
 
+// Clone returns an independent copy of the TLB charging cycles to clock
+// (snapshot/fork support). Slots, the index, the LRU tick, and the
+// one-entry last-translation cache are all preserved so a fork's
+// replacement decisions replay identically.
+func (t *TLB) Clone(clock *sim.Clock) *TLB {
+	t2 := *t
+	t2.clock = clock
+	t2.slots = append([]slot(nil), t.slots...)
+	t2.index = make(map[key]int, len(t.index))
+	for k, i := range t.index {
+		t2.index[k] = i
+	}
+	return &t2
+}
+
 // Lookup translates (space, vpn), walking the page tables via w on a
 // miss. ok=false means no translation exists.
 func (t *TLB) Lookup(space arch.SpaceID, vpn arch.VPN, w Walker) (Entry, bool) {

@@ -82,6 +82,32 @@ func New(sys *vm.System, m *machine.Machine, feat policy.Features) *Server {
 	}
 }
 
+// Clone returns an independent copy of the server bound to forked VM
+// system sys2 and machine m2 (snapshot/fork support). maps is the
+// pointer correspondence produced by the VM clone; the server's space
+// and every channel's regions and process space are remapped through it.
+func (s *Server) Clone(sys2 *vm.System, m2 *machine.Machine, maps *vm.CloneMaps) *Server {
+	s2 := &Server{
+		sys:    sys2,
+		m:      m2,
+		geom:   s.geom,
+		feat:   s.feat,
+		space:  maps.Spaces[s.space],
+		chans:  make(map[arch.SpaceID]*Channel, len(s.chans)),
+		nProcs: s.nProcs,
+		seq:    s.seq,
+		stats:  s.stats,
+	}
+	for id, ch := range s.chans {
+		ch2 := *ch
+		ch2.serverRegion = maps.Regions[ch.serverRegion]
+		ch2.procRegion = maps.Regions[ch.procRegion]
+		ch2.proc = maps.Spaces[ch.proc]
+		s2.chans[id] = &ch2
+	}
+	return s2
+}
+
 // Space returns the server's address space.
 func (s *Server) Space() *vm.Space { return s.space }
 

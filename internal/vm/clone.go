@@ -1,0 +1,111 @@
+package vm
+
+import (
+	"vcache/internal/arch"
+	"vcache/internal/dma"
+	"vcache/internal/pmap"
+)
+
+// CloneMaps records the old-pointer → new-pointer correspondence of a
+// System.Clone, so layers holding references into the VM object graph
+// (the kernel's process table, the Unix server's channels) can rewire
+// themselves onto the fork.
+type CloneMaps struct {
+	Spaces  map[*Space]*Space
+	Regions map[*Region]*Region
+	Objects map[*Object]*Object
+}
+
+// Clone returns an independent copy of the VM system wired to forked
+// pmap pm (snapshot/fork support). rebind translates each object's pager
+// to one bound to the fork's kernel (nil leaves pagers shared — only
+// safe when the pager is stateless); the swap device is left unset, the
+// caller attaches the fork's own via SetSwap.
+//
+// Every piece of ordering-sensitive state — the sorted region lists, the
+// allocation cursors, the second-chance resident queue, the swap free
+// stack — is copied element for element so a fork's paging decisions
+// replay exactly as the original's would have.
+func (sys *System) Clone(pm *pmap.Pmap, rebind func(Pager) Pager) (*System, *CloneMaps) {
+	maps := &CloneMaps{
+		Spaces:  make(map[*Space]*Space, len(sys.spaces)),
+		Regions: make(map[*Region]*Region),
+		Objects: make(map[*Object]*Object),
+	}
+	s2 := &System{
+		geom:    sys.geom,
+		pm:      pm,
+		feat:    sys.feat,
+		spaces:  make(map[arch.SpaceID]*Space, len(sys.spaces)),
+		nextID:  sys.nextID,
+		nextObj: sys.nextObj,
+		stats:   sys.stats,
+
+		swapFree:  append([]dma.BlockID(nil), sys.swapFree...),
+		swapStats: sys.swapStats,
+	}
+	cloneObject := func(o *Object) *Object {
+		if o == nil {
+			return nil
+		}
+		if o2, ok := maps.Objects[o]; ok {
+			return o2
+		}
+		o2 := &Object{id: o.id, refs: o.refs, pager: o.pager}
+		if rebind != nil && o.pager != nil {
+			o2.pager = rebind(o.pager)
+		}
+		// freePages nils the page map when an object dies; preserve the
+		// nil so DeepEqual between forked and cold-booted runs holds.
+		if o.pages != nil {
+			o2.pages = make(map[uint64]arch.PFN, len(o.pages))
+			for idx, f := range o.pages {
+				o2.pages[idx] = f
+			}
+		}
+		if o.swapped != nil {
+			o2.swapped = make(map[uint64]dma.BlockID, len(o.swapped))
+			for idx, blk := range o.swapped {
+				o2.swapped[idx] = blk
+			}
+		}
+		maps.Objects[o] = o2
+		return o2
+	}
+	cloneRegion := func(r *Region) *Region {
+		if r2, ok := maps.Regions[r]; ok {
+			return r2
+		}
+		r2 := &Region{}
+		*r2 = *r
+		r2.Obj = cloneObject(r.Obj)
+		r2.Shadow = cloneObject(r.Shadow)
+		maps.Regions[r] = r2
+		return r2
+	}
+	for id, s := range sys.spaces {
+		ns := &Space{ID: s.ID, cursor: s.cursor}
+		if s.regions != nil {
+			ns.regions = make([]*Region, len(s.regions))
+			for i, r := range s.regions {
+				ns.regions[i] = cloneRegion(r)
+			}
+		}
+		s2.spaces[id] = ns
+		maps.Spaces[s] = ns
+	}
+	if sys.residents != nil {
+		s2.residents = make([]residentEntry, len(sys.residents))
+		for i, e := range sys.residents {
+			e.obj = cloneObject(e.obj)
+			s2.residents[i] = e
+		}
+	}
+	if sys.pinned != nil {
+		s2.pinned = make(map[arch.PFN]int, len(sys.pinned))
+		for f, n := range sys.pinned {
+			s2.pinned[f] = n
+		}
+	}
+	return s2, maps
+}
