@@ -1,0 +1,224 @@
+// Command vcachectl is the cluster coordinator: one HTTP front-end over
+// a fleet of vcached shards. It consistent-hashes content keys across
+// the fleet, forwards /run and fans /batch out element-wise, replicates
+// hot keys, hedges slow shards, retries failed ones with bounded
+// backoff, and — with the whole fleet dark — executes runs itself. Its
+// /metrics merges the fleet's expositions into one cluster-wide view.
+//
+// Usage:
+//
+//	vcachectl -addr :9090 -peers http://10.0.0.1:8080,http://10.0.0.2:8080
+//	curl -s -XPOST localhost:9090/run -d '{"workload":"kernel-build","config":"F","scale":0.1}'
+//	curl -s localhost:9090/cluster/healthz
+//	curl -s localhost:9090/metrics
+//	vcachectl -selftest          # boot an in-process fleet, drive it, verify identity
+//
+// Because every shard computes byte-identical results for the same key,
+// a client cannot distinguish vcachectl from a single vcached except by
+// throughput and the X-Vcachectl-* attribution headers.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vcache/internal/cluster"
+	"vcache/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vcachectl: ")
+	addr := flag.String("addr", ":9090", "listen address")
+	peers := flag.String("peers", "", "comma-separated backend base URLs (required unless -selftest)")
+	replicas := flag.Int("replicas", 0, "shards serving each hot key (0 = default 2)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "duplicate a forwarded request still unanswered after this long (0 = default 100ms)")
+	retries := flag.Int("retries", 0, "extra forward attempts after the first (0 = default 2)")
+	hotAfter := flag.Uint64("hot-after", 0, "observations that make a key hot enough to replicate (0 = default 3)")
+	concurrency := flag.Int("concurrency", 0, "local fallback: max backing simulations at once (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "local fallback: max runs waiting for a slot before 429")
+	cacheEntries := flag.Int("cache", 512, "local fallback: result-cache capacity (entries)")
+	snapshotPool := flag.Int("snapshot-pool", 0, "local fallback: warm-boot snapshot pool capacity (0 = disabled)")
+	quiet := flag.Bool("quiet", false, "suppress the structured per-request log")
+	selftest := flag.Bool("selftest", false, "boot an in-process 3-shard fleet, drive it, verify single-node identity, and exit")
+	shards := flag.Int("shards", 3, "selftest: in-process shard count")
+	requests := flag.Int("requests", 60, "selftest: plan length")
+	clients := flag.Int("clients", 12, "selftest: concurrent client workers")
+	flag.Parse()
+
+	var logW io.Writer = os.Stderr
+	if *quiet {
+		logW = nil
+	}
+	local := service.New(service.Config{
+		MaxConcurrent: *concurrency,
+		MaxQueue:      *queue,
+		CacheEntries:  *cacheEntries,
+		SnapshotPool:  *snapshotPool,
+	})
+
+	if *selftest {
+		if err := runSelftest(local, *shards, *requests, *clients, *hedgeAfter); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *peers == "" {
+		log.Fatal("-peers is required (or use -selftest)")
+	}
+	coord, err := cluster.New(cluster.Config{
+		Peers:      strings.Split(*peers, ","),
+		Replicas:   *replicas,
+		HedgeAfter: *hedgeAfter,
+		Retries:    *retries,
+		HotAfter:   *hotAfter,
+		Local:      local,
+		Log:        logW,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: coord.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("coordinating %d shards on %s", len(strings.Split(*peers, ",")), *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(dctx)
+	if err := local.Shutdown(dctx); err != nil {
+		log.Printf("local fallback drain: %v", err)
+	}
+	log.Printf("stopped")
+}
+
+// runSelftest boots an in-process fleet (N vcached shards plus a
+// coordinator and a plain single node, all on loopback), drives the
+// same plan through the coordinator and the single node, and verifies
+// the tentpole property end to end: byte-identical bodies element-wise,
+// every element forwarded, no fallbacks.
+func runSelftest(local *service.Service, shards, requests, clients int, hedgeAfter time.Duration) error {
+	type node struct {
+		svc *service.Service
+		srv *http.Server
+		url string
+	}
+	start := func(svc *service.Service) (*node, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := &http.Server{Handler: svc.Handler()}
+		go func() { _ = srv.Serve(ln) }()
+		return &node{svc: svc, srv: srv, url: "http://" + ln.Addr().String()}, nil
+	}
+	single, err := start(service.New(service.Config{}))
+	if err != nil {
+		return err
+	}
+	var fleet []*node
+	var peerURLs []string
+	for i := 0; i < shards; i++ {
+		n, err := start(service.New(service.Config{ShardID: fmt.Sprintf("shard-%d", i)}))
+		if err != nil {
+			return err
+		}
+		fleet = append(fleet, n)
+		peerURLs = append(peerURLs, n.url)
+	}
+	coord, err := cluster.New(cluster.Config{
+		Peers:      peerURLs,
+		HedgeAfter: hedgeAfter,
+		Local:      local,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctlSrv := &http.Server{Handler: coord.Handler()}
+	go func() { _ = ctlSrv.Serve(ln) }()
+	ctlURL := "http://" + ln.Addr().String()
+	log.Printf("selftest: %d shards behind %s, single node %s", shards, ctlURL, single.url)
+
+	workloads := []string{"kernel-build", "afs-bench", "latex-paper"}
+	configs := []string{"A", "C", "F"}
+	plan := make([]service.RunRequest, 0, requests)
+	for i := 0; i < requests; i++ {
+		plan = append(plan, service.RunRequest{
+			Workload: workloads[i%len(workloads)],
+			Config:   configs[(i/len(workloads))%len(configs)],
+			Scale:    0.05 + 0.05*float64((i/9)%2),
+		})
+	}
+
+	t0 := time.Now()
+	want, _, err := service.DrivePlan(nil, single.url, plan, clients)
+	if err != nil {
+		return fmt.Errorf("single-node drive: %w", err)
+	}
+	singleDur := time.Since(t0)
+	t0 = time.Now()
+	got, _, err := service.DrivePlan(nil, ctlURL, plan, clients)
+	if err != nil {
+		return fmt.Errorf("cluster drive: %w", err)
+	}
+	clusterDur := time.Since(t0)
+	for i := range plan {
+		if !bytes.Equal(want[i], got[i]) {
+			return fmt.Errorf("selftest: plan element %d differs between single node and %d-shard cluster", i, shards)
+		}
+	}
+	s := coord.Stats()
+	forwards := uint64(0)
+	for _, sh := range s.Shards {
+		forwards += sh.Forwards
+	}
+	fmt.Printf("selftest: %d-element plan byte-identical across topologies\n", len(plan))
+	fmt.Printf("  single node: %v, %d-shard cluster: %v\n", singleDur.Round(time.Millisecond), shards, clusterDur.Round(time.Millisecond))
+	fmt.Printf("  coordinator: %d requests, %d forwards, %d hedges, %d retries, %d fallbacks\n",
+		s.Requests, forwards, s.Hedges, s.Retries, s.Fallbacks)
+	if forwards < uint64(len(plan)) {
+		return fmt.Errorf("selftest: only %d forwards for %d requests", forwards, len(plan))
+	}
+	if s.Fallbacks != 0 {
+		return fmt.Errorf("selftest: %d fallbacks with a healthy fleet", s.Fallbacks)
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = ctlSrv.Close()
+	_ = single.srv.Close()
+	if err := single.svc.Shutdown(dctx); err != nil {
+		return err
+	}
+	for _, n := range fleet {
+		_ = n.srv.Close()
+		if err := n.svc.Shutdown(dctx); err != nil {
+			return err
+		}
+	}
+	return local.Shutdown(dctx)
+}

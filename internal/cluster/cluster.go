@@ -1,0 +1,354 @@
+// Package cluster turns a fleet of vcached daemons into one service:
+// the sharded, replicated form of the paper's consistency machinery at
+// datacenter scale.
+//
+// The coordinator consistent-hashes content keys (the service's SHA-256
+// Resolved.Key) across a static list of backends, forwards /run and
+// fans /batch out element-wise, replicates the hottest keys across
+// Replicas shards, and hedges or retries slow and failed shards with
+// bounded backoff before falling back to executing locally. Because
+// every shard computes byte-identical bodies for the same key — the
+// determinism the whole repository is built on — any shard is a correct
+// server for any key; routing is purely a cache-locality and load
+// decision, hedging is free of split-brain risk, and a 1-node and an
+// N-node topology are observably identical except for throughput.
+//
+// The same 1992 problem the paper solves inside one machine — a fleet
+// of caches that must agree on what a virtual name means — recurs here
+// at fleet scale, and the same move resolves it: make the mapping from
+// name (content key) to owner deterministic and let software manage the
+// copies.
+//
+// cmd/vcachectl wraps this package in a standalone coordinator daemon;
+// cmd/vcached mounts it in front of its own service when given -peers.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"vcache/internal/service"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Peers are the backend vcached base URLs (e.g. "http://10.0.0.1:8080").
+	// The coordinator itself must not be listed: it already merges its
+	// local fallback service into the fleet view as shard "local".
+	Peers []string
+	// Replicas is how many shards serve a hot key (R), clamped to
+	// [1, len(Peers)]; <= 0 means 2. A cold key always routes to its
+	// single ring owner; a hot key rotates across its first R owners,
+	// which spreads its load and keeps R result caches warm (the
+	// update-vs-invalidate tradeoff: hot content is worth extra copies).
+	Replicas int
+	// HedgeAfter is how long a forwarded request may stay unanswered
+	// before the coordinator launches a duplicate attempt at the next
+	// candidate shard; <= 0 means 100ms. The first authoritative answer
+	// wins; determinism makes the duplicate harmless.
+	HedgeAfter time.Duration
+	// Retries bounds additional forward attempts after the first —
+	// counting both hedges and failure retries — across retryable
+	// failures (transport errors, 429, 502, 503); <= 0 means 2.
+	// Exhausting every candidate falls back to executing locally.
+	Retries int
+	// Backoff is the base delay inserted before a failure retry, growing
+	// linearly with the attempt number and capped at 8×Backoff;
+	// <= 0 means 5ms.
+	Backoff time.Duration
+	// HotAfter is how many observations make a key hot; <= 0 means 3.
+	HotAfter uint64
+	// HotKeys bounds the hot-key tracker's map; <= 0 means 4096.
+	HotKeys int
+	// FailThreshold is how many consecutive retryable failures demote a
+	// shard to unhealthy — skipped while any healthy candidate remains,
+	// restored by its next success; <= 0 means 3.
+	FailThreshold int
+	// MaxBatch bounds how many runs one /batch request may carry;
+	// <= 0 means 256 (matching service.Config.MaxBatch's default).
+	MaxBatch int
+	// BatchWorkers bounds concurrent element forwards of one /batch;
+	// <= 0 means 4 per shard, at least 8.
+	BatchWorkers int
+	// Vnodes is the ring's per-shard virtual-node count; <= 0 means
+	// DefaultVnodes.
+	Vnodes int
+	// ScrapeTimeout bounds each per-shard /metrics scrape of the fleet
+	// merge; <= 0 means 2s.
+	ScrapeTimeout time.Duration
+	// Local is the fallback executor (required): when every candidate
+	// shard has failed, the coordinator runs the simulation itself, so a
+	// dead fleet degrades to a slow single node instead of an outage.
+	Local *service.Service
+	// Client optionally overrides the forwarding HTTP client.
+	Client *http.Client
+	// Log, when non-nil, receives one structured JSON line per request.
+	Log io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Replicas > len(c.Peers) {
+		c.Replicas = len(c.Peers)
+	}
+	if c.HedgeAfter <= 0 {
+		c.HedgeAfter = 100 * time.Millisecond
+	}
+	if c.Retries <= 0 {
+		c.Retries = 2
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 5 * time.Millisecond
+	}
+	if c.HotAfter == 0 {
+		c.HotAfter = 3
+	}
+	if c.HotKeys <= 0 {
+		c.HotKeys = 4096
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = 4 * len(c.Peers)
+		if c.BatchWorkers < 8 {
+			c.BatchWorkers = 8
+		}
+	}
+	if c.ScrapeTimeout <= 0 {
+		c.ScrapeTimeout = 2 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	return c
+}
+
+// shardState is the coordinator's live view of one backend.
+type shardState struct {
+	name string // peer base URL
+
+	forwards    uint64 // attempts relayed to this shard (first tries, retries, hedges)
+	hedges      uint64 // attempts that were hedges
+	errors      uint64 // retryable failures observed from this shard
+	consecFails int
+	lastErr     string
+}
+
+// Coordinator routes simulation requests across the fleet. All mutable
+// state (shard health, counters, the hot tracker) sits behind small
+// mutexes; the forwarding path itself is lock-free between bookkeeping
+// points, so slow shards never serialize fast ones.
+type Coordinator struct {
+	cfg   Config
+	ring  *Ring
+	local *service.Service
+
+	mu       sync.Mutex
+	shards   []*shardState
+	requests uint64
+	batches  uint64
+	hedges   uint64 // aggregate across shards (sum of shardState.hedges)
+	retries  uint64 // failure retries launched
+	fallback uint64 // requests that fell back to local execution
+	rotation uint64 // hot-key round-robin cursor
+
+	hot *hotTracker
+
+	logMu sync.Mutex
+}
+
+// New builds a coordinator over a static peer list.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Local == nil {
+		return nil, errors.New("cluster: Config.Local (the fallback executor) is required")
+	}
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("cluster: at least one peer is required")
+	}
+	for _, p := range cfg.Peers {
+		if !strings.HasPrefix(p, "http://") && !strings.HasPrefix(p, "https://") {
+			return nil, fmt.Errorf("cluster: peer %q is not an http(s) base URL", p)
+		}
+	}
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:   cfg,
+		ring:  NewRing(cfg.Peers, cfg.Vnodes),
+		local: cfg.Local,
+		hot:   newHotTracker(cfg.HotAfter, cfg.HotKeys),
+	}
+	for _, p := range cfg.Peers {
+		c.shards = append(c.shards, &shardState{name: p})
+	}
+	return c, nil
+}
+
+// ShardStats is a point-in-time view of one backend.
+type ShardStats struct {
+	Peer                string `json:"peer"`
+	Healthy             bool   `json:"healthy"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Forwards            uint64 `json:"forwards"`
+	Hedges              uint64 `json:"hedges"`
+	Errors              uint64 `json:"errors"`
+	LastError           string `json:"last_error,omitempty"`
+}
+
+// Stats is a point-in-time view of the coordinator's counters.
+type Stats struct {
+	Requests  uint64
+	Batches   uint64
+	Hedges    uint64
+	Retries   uint64
+	Fallbacks uint64
+	HotKeys   int
+	Shards    []ShardStats
+}
+
+// Stats snapshots every coordinator counter.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Requests:  c.requests,
+		Batches:   c.batches,
+		Hedges:    c.hedges,
+		Retries:   c.retries,
+		Fallbacks: c.fallback,
+		HotKeys:   c.hot.len(),
+	}
+	for _, sh := range c.shards {
+		s.Shards = append(s.Shards, ShardStats{
+			Peer:                sh.name,
+			Healthy:             sh.consecFails < c.cfg.FailThreshold,
+			ConsecutiveFailures: sh.consecFails,
+			Forwards:            sh.forwards,
+			Hedges:              sh.hedges,
+			Errors:              sh.errors,
+			LastError:           sh.lastErr,
+		})
+	}
+	return s
+}
+
+// route orders candidate shards for key: its ring owners first (one for
+// a cold key, the first Replicas rotating for a hot one), then every
+// remaining shard clockwise. Any shard serves any key identically —
+// later candidates are correctness-equivalent, just cache-cold — so the
+// plan never runs dry before the whole fleet has been tried. Unhealthy
+// shards sink to the back of the plan without leaving it: while any
+// healthy candidate remains it goes first, but a fully-dark fleet is
+// still probed before the local fallback.
+func (c *Coordinator) route(key string) []int {
+	plan := c.ring.Owners(key, c.ring.Shards())
+	if c.hot.observe(key) && c.cfg.Replicas > 1 {
+		c.mu.Lock()
+		rot := int(c.rotation % uint64(c.cfg.Replicas))
+		c.rotation++
+		c.mu.Unlock()
+		rotated := make([]int, 0, len(plan))
+		for i := 0; i < c.cfg.Replicas; i++ {
+			rotated = append(rotated, plan[(i+rot)%c.cfg.Replicas])
+		}
+		plan = append(rotated, plan[c.cfg.Replicas:]...)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	healthy := make([]int, 0, len(plan))
+	sick := make([]int, 0)
+	for _, i := range plan {
+		if c.shards[i].consecFails < c.cfg.FailThreshold {
+			healthy = append(healthy, i)
+		} else {
+			sick = append(sick, i)
+		}
+	}
+	return append(healthy, sick...)
+}
+
+// countAttempt books one relay launched at shard i.
+func (c *Coordinator) countAttempt(i int, hedge, retry bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shards[i].forwards++
+	if hedge {
+		c.shards[i].hedges++
+		c.hedges++
+	}
+	if retry {
+		c.retries++
+	}
+}
+
+// markHealthy resets shard i's failure streak after an authoritative
+// answer.
+func (c *Coordinator) markHealthy(i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shards[i].consecFails = 0
+	c.shards[i].lastErr = ""
+}
+
+// markFailed books one retryable failure from shard i.
+func (c *Coordinator) markFailed(i int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shards[i].errors++
+	c.shards[i].consecFails++
+	if err != nil {
+		c.shards[i].lastErr = err.Error()
+	}
+}
+
+// hotTracker counts key observations so the coordinator can replicate
+// the hottest keys across several shards instead of pinning every key
+// to its single ring owner.
+type hotTracker struct {
+	mu     sync.Mutex
+	min    uint64
+	cap    int
+	counts map[string]uint64
+}
+
+func newHotTracker(min uint64, capacity int) *hotTracker {
+	return &hotTracker{min: min, cap: capacity, counts: make(map[string]uint64)}
+}
+
+// observe counts one request for key and reports whether the key has
+// crossed the hot threshold. The map is bounded: past 2×cap entries
+// every count is halved and zeroes dropped, so one-off keys decay away
+// while genuinely hot keys survive the halvings.
+func (h *hotTracker) observe(key string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counts[key]++
+	hot := h.counts[key] >= h.min
+	if len(h.counts) > 2*h.cap {
+		for k, n := range h.counts {
+			n /= 2
+			if n == 0 {
+				delete(h.counts, k)
+			} else {
+				h.counts[k] = n
+			}
+		}
+	}
+	return hot
+}
+
+func (h *hotTracker) len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.counts)
+}

@@ -1,0 +1,445 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vcache/internal/service"
+)
+
+// newBackend boots one in-process vcached and serves it over loopback.
+func newBackend(t *testing.T, shardID string) (*service.Service, *httptest.Server) {
+	t.Helper()
+	svc := service.New(service.Config{MaxConcurrent: 4, SnapshotPool: 8, ShardID: shardID})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	})
+	return svc, srv
+}
+
+// newCoordinator builds a coordinator over peers and serves it. The
+// local fallback service is created fresh unless cfg supplies one.
+func newCoordinator(t *testing.T, cfg Config) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	if cfg.Local == nil {
+		local := service.New(service.Config{MaxConcurrent: 4})
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = local.Shutdown(ctx)
+		})
+		cfg.Local = local
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+	return c, srv
+}
+
+// testPlan builds a deterministic mixed plan: distinct workload×config×
+// scale combinations cycling with repeats, so a topology-identity drive
+// exercises cold misses, cache hits, and concurrent duplicates at once.
+func testPlan(n int) []service.RunRequest {
+	workloads := []string{"kernel-build", "afs-bench", "latex-paper"}
+	configs := []string{"A", "C", "F"}
+	scales := []float64{0.05, 0.1}
+	plan := make([]service.RunRequest, 0, n)
+	for i := 0; i < n; i++ {
+		plan = append(plan, service.RunRequest{
+			Workload: workloads[i%len(workloads)],
+			Config:   configs[(i/len(workloads))%len(configs)],
+			Scale:    scales[(i/(len(workloads)*len(configs)))%len(scales)],
+		})
+	}
+	return plan
+}
+
+// TestClusterTopologyIdentity is the tentpole's acceptance check in
+// miniature: one plan driven at high concurrency against a single
+// vcached and against a 3-shard fleet behind a coordinator must return
+// byte-identical bodies element-wise. Any divergence means routing,
+// hedging, or relay corrupted a result.
+func TestClusterTopologyIdentity(t *testing.T) {
+	_, single := newBackend(t, "")
+	var peers []string
+	for i := 0; i < 3; i++ {
+		_, srv := newBackend(t, fmt.Sprintf("shard-%d", i))
+		peers = append(peers, srv.URL)
+	}
+	coord, ctl := newCoordinator(t, Config{Peers: peers, HotAfter: 2})
+
+	plan := testPlan(30)
+	wantBodies, _, err := service.DrivePlan(nil, single.URL, plan, 12)
+	if err != nil {
+		t.Fatalf("single-node drive: %v", err)
+	}
+	gotBodies, _, err := service.DrivePlan(nil, ctl.URL, plan, 12)
+	if err != nil {
+		t.Fatalf("cluster drive: %v", err)
+	}
+	for i := range plan {
+		if !bytes.Equal(wantBodies[i], gotBodies[i]) {
+			t.Fatalf("plan element %d (%s/%s@%g): cluster body differs from single-node body",
+				i, plan[i].Workload, plan[i].Config, plan[i].Scale)
+		}
+	}
+	s := coord.Stats()
+	if s.Requests != uint64(len(plan)) {
+		t.Fatalf("coordinator counted %d requests, want %d", s.Requests, len(plan))
+	}
+	forwards := uint64(0)
+	for _, sh := range s.Shards {
+		forwards += sh.Forwards
+	}
+	if forwards < uint64(len(plan)) {
+		t.Fatalf("only %d forwards for %d requests: coordinator served without forwarding", forwards, len(plan))
+	}
+	if s.Fallbacks != 0 {
+		t.Fatalf("%d local fallbacks with a healthy fleet", s.Fallbacks)
+	}
+}
+
+// TestClusterHedging: a deliberately slow shard must trigger hedged
+// duplicates — and the client must see only clean, correct answers.
+func TestClusterHedging(t *testing.T) {
+	_, single := newBackend(t, "")
+	_, fast := newBackend(t, "fast")
+	slowSvc := service.New(service.Config{MaxConcurrent: 4, ShardID: "slow"})
+	slowHandler := slowSvc.Handler()
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/run" {
+			time.Sleep(250 * time.Millisecond)
+		}
+		slowHandler.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		slow.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = slowSvc.Shutdown(ctx)
+	})
+	coord, ctl := newCoordinator(t, Config{
+		Peers:      []string{fast.URL, slow.URL},
+		HedgeAfter: 10 * time.Millisecond,
+	})
+
+	// 24 distinct keys: the chance that none routes to the slow shard
+	// first is ~2^-24, so a hedge is effectively guaranteed.
+	plan := testPlan(24)
+	wantBodies, _, err := service.DrivePlan(nil, single.URL, plan, 8)
+	if err != nil {
+		t.Fatalf("single-node drive: %v", err)
+	}
+	gotBodies, _, err := service.DrivePlan(nil, ctl.URL, plan, 8)
+	if err != nil {
+		t.Fatalf("cluster drive with slow shard: %v", err)
+	}
+	for i := range plan {
+		if !bytes.Equal(wantBodies[i], gotBodies[i]) {
+			t.Fatalf("plan element %d: hedged cluster body differs from single-node body", i)
+		}
+	}
+	if s := coord.Stats(); s.Hedges == 0 {
+		t.Fatalf("no hedges launched against a 250ms shard with HedgeAfter=10ms: %+v", s)
+	}
+}
+
+// TestClusterRetryFailover: a shard that always answers 503 is retried
+// away from, then demoted; the client never sees its failures.
+func TestClusterRetryFailover(t *testing.T) {
+	_, good := newBackend(t, "good")
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = io.WriteString(w, `{"error":"draining"}`+"\n")
+	}))
+	t.Cleanup(bad.Close)
+	coord, ctl := newCoordinator(t, Config{
+		Peers:         []string{good.URL, bad.URL},
+		Backoff:       time.Millisecond,
+		FailThreshold: 2,
+	})
+
+	plan := testPlan(12)
+	if _, _, err := service.DrivePlan(nil, ctl.URL, plan, 4); err != nil {
+		t.Fatalf("drive with failing shard: %v", err)
+	}
+	s := coord.Stats()
+	if s.Retries == 0 {
+		t.Fatalf("no retries recorded against an always-503 shard: %+v", s)
+	}
+	var badStats *ShardStats
+	for i := range s.Shards {
+		if s.Shards[i].Peer == bad.URL {
+			badStats = &s.Shards[i]
+		}
+	}
+	if badStats == nil || badStats.Errors == 0 {
+		t.Fatalf("failing shard shows no errors: %+v", s.Shards)
+	}
+	if badStats.Healthy {
+		t.Fatalf("always-503 shard still marked healthy after %d errors", badStats.Errors)
+	}
+}
+
+// TestClusterLocalFallback: with every peer dead, the coordinator
+// executes runs itself — a dark fleet degrades to one slow node, and
+// the bodies still match a plain vcached byte-for-byte.
+func TestClusterLocalFallback(t *testing.T) {
+	_, single := newBackend(t, "")
+	dead1 := httptest.NewServer(http.NotFoundHandler())
+	dead2 := httptest.NewServer(http.NotFoundHandler())
+	u1, u2 := dead1.URL, dead2.URL
+	dead1.Close()
+	dead2.Close()
+	coord, ctl := newCoordinator(t, Config{
+		Peers:   []string{u1, u2},
+		Backoff: time.Millisecond,
+	})
+
+	plan := testPlan(6)
+	wantBodies, _, err := service.DrivePlan(nil, single.URL, plan, 4)
+	if err != nil {
+		t.Fatalf("single-node drive: %v", err)
+	}
+	gotBodies, _, err := service.DrivePlan(nil, ctl.URL, plan, 4)
+	if err != nil {
+		t.Fatalf("drive against dead fleet: %v", err)
+	}
+	for i := range plan {
+		if !bytes.Equal(wantBodies[i], gotBodies[i]) {
+			t.Fatalf("plan element %d: fallback body differs from single-node body", i)
+		}
+	}
+	if s := coord.Stats(); s.Fallbacks == 0 {
+		t.Fatalf("no local fallbacks with a fully-dead fleet: %+v", s)
+	}
+
+	// The fallback answer attributes itself to shard "local".
+	b, _ := json.Marshal(plan[0])
+	resp, err := http.Post(ctl.URL+"/run", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if got := resp.Header.Get("X-Vcachectl-Shard"); got != "local" {
+		t.Fatalf("X-Vcachectl-Shard = %q, want %q", got, "local")
+	}
+}
+
+// TestClusterBatchIdentity: one batch through the coordinator matches
+// the same batch through a single vcached element-wise.
+func TestClusterBatchIdentity(t *testing.T) {
+	_, single := newBackend(t, "")
+	var peers []string
+	for i := 0; i < 3; i++ {
+		_, srv := newBackend(t, fmt.Sprintf("shard-%d", i))
+		peers = append(peers, srv.URL)
+	}
+	_, ctl := newCoordinator(t, Config{Peers: peers})
+
+	batch := service.BatchRequest{Runs: testPlan(18)}
+	post := func(url string) service.BatchResponse {
+		t.Helper()
+		b, err := json.Marshal(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(url+"/batch", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("POST %s/batch: status %d: %s", url, resp.StatusCode, body)
+		}
+		var out service.BatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := post(single.URL)
+	got := post(ctl.URL)
+	if len(got.Results) != len(batch.Runs) || len(want.Results) != len(batch.Runs) {
+		t.Fatalf("result counts: single %d, cluster %d, want %d", len(want.Results), len(got.Results), len(batch.Runs))
+	}
+	for i := range batch.Runs {
+		if want.Results[i].Error != "" || got.Results[i].Error != "" {
+			t.Fatalf("element %d: errors %q (single) / %q (cluster)", i, want.Results[i].Error, got.Results[i].Error)
+		}
+		if !bytes.Equal(want.Results[i].Run, got.Results[i].Run) {
+			t.Fatalf("element %d: cluster batch body differs from single-node batch body", i)
+		}
+	}
+}
+
+// TestClusterBatchCaps: coordinator-side batch validation mirrors the
+// service's own 400s.
+func TestClusterBatchCaps(t *testing.T) {
+	_, srv := newBackend(t, "")
+	_, ctl := newCoordinator(t, Config{Peers: []string{srv.URL}, MaxBatch: 4})
+	for name, body := range map[string]string{
+		"empty":    `{"runs":[]}`,
+		"oversize": `{"runs":[{},{},{},{},{}]}`,
+	} {
+		resp, err := http.Post(ctl.URL+"/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s batch: status %d, want 400 (%s)", name, resp.StatusCode, b)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(b, &e); err != nil || e.Error == "" {
+			t.Fatalf("%s batch: error body %q not in the JSON error shape", name, b)
+		}
+	}
+}
+
+// TestClusterHeadersAndAccounting: the coordinator relays the backend's
+// shard marker, stamps its own attribution headers, and the backend
+// books the forwarded request.
+func TestClusterHeadersAndAccounting(t *testing.T) {
+	svc, srv := newBackend(t, "s1")
+	_, ctl := newCoordinator(t, Config{Peers: []string{srv.URL}})
+
+	b, _ := json.Marshal(service.RunRequest{Workload: "kernel-build", Config: "F", Scale: 0.05})
+	resp, err := http.Post(ctl.URL+"/run", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(service.ShardHeader); got != "s1" {
+		t.Fatalf("%s = %q, want %q", service.ShardHeader, got, "s1")
+	}
+	if got := resp.Header.Get("X-Vcachectl-Shard"); got != srv.URL {
+		t.Fatalf("X-Vcachectl-Shard = %q, want %q", got, srv.URL)
+	}
+	if got := resp.Header.Get("X-Vcachectl-Attempts"); got != "1" {
+		t.Fatalf("X-Vcachectl-Attempts = %q, want %q", got, "1")
+	}
+	if got := svc.Metrics().ForwardedRequests; got != 1 {
+		t.Fatalf("backend ForwardedRequests = %d, want 1", got)
+	}
+}
+
+// TestCoordinatorMetricsAndHealth: /metrics merges the fleet and exposes
+// the coordinator's own counters; /cluster/healthz reports per-shard
+// state; the read-only endpoints reject non-GET with the JSON 405.
+func TestCoordinatorMetricsAndHealth(t *testing.T) {
+	var peers []string
+	for i := 0; i < 2; i++ {
+		_, srv := newBackend(t, fmt.Sprintf("shard-%d", i))
+		peers = append(peers, srv.URL)
+	}
+	_, ctl := newCoordinator(t, Config{Peers: peers})
+
+	if _, _, err := service.DrivePlan(nil, ctl.URL, testPlan(8), 4); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ctl.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"vcachectl_requests_total 8",
+		"vcachectl_hedges_total ",
+		"vcachectl_fallbacks_total 0",
+		`vcachectl_shard_forwards_total{shard="`,
+		`vcachectl_shard_hedges_total{shard="`,
+		`vcachectl_shard_up{shard="`,
+		"vcached_runs_started_total ",
+		"vcached_run_latency_ms_bucket{le=",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("coordinator /metrics missing %q:\n%s", want, text)
+		}
+	}
+	// Every shard is up and the merged runs_started covers the plan.
+	if strings.Contains(string(text), `_up{shard="`+peers[0]+`"} 0`) {
+		t.Fatalf("live shard reported down:\n%s", text)
+	}
+
+	hresp, err := http.Get(ctl.URL + "/cluster/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string       `json:"status"`
+		Shards []ShardStats `json:"shards"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health.Status != "ok" || len(health.Shards) != 2 {
+		t.Fatalf("/cluster/healthz = %+v, want ok with 2 shards", health)
+	}
+	for _, sh := range health.Shards {
+		if !sh.Healthy {
+			t.Fatalf("shard %s unhealthy in a clean run", sh.Peer)
+		}
+	}
+
+	for _, path := range []string{"/healthz", "/metrics", "/cluster/healthz"} {
+		resp, err := http.Post(ctl.URL+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s: status %d, want 405", path, resp.StatusCode)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(b, &e); err != nil || e.Error == "" {
+			t.Fatalf("POST %s: error body %q not in the JSON error shape", path, b)
+		}
+	}
+}
+
+// TestCoordinatorRejectsBadConfig: construction errors are loud.
+func TestCoordinatorRejectsBadConfig(t *testing.T) {
+	local := service.New(service.Config{})
+	t.Cleanup(func() { _ = local.Shutdown(context.Background()) })
+	if _, err := New(Config{Peers: []string{"http://x"}}); err == nil {
+		t.Fatal("New without Local succeeded")
+	}
+	if _, err := New(Config{Local: local}); err == nil {
+		t.Fatal("New without peers succeeded")
+	}
+	if _, err := New(Config{Local: local, Peers: []string{"10.0.0.1:8080"}}); err == nil {
+		t.Fatal("New with a schemeless peer succeeded")
+	}
+}

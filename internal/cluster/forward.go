@@ -1,0 +1,462 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"vcache/internal/service"
+)
+
+// maxRelayBody bounds one relayed response body (64 MiB): a misbehaving
+// backend must not be able to balloon the coordinator's memory.
+const maxRelayBody = 64 << 20
+
+// Handler returns the coordinator's HTTP surface — the same client
+// contract as one vcached (/run, /batch, /healthz, /metrics,
+// /workloads) plus the fleet view (/cluster/healthz). A client cannot
+// tell a coordinator from a single daemon except by the extra
+// X-Vcachectl-* headers.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", c.handleRun)
+	mux.HandleFunc("/batch", c.handleBatch)
+	mux.HandleFunc("/healthz", c.handleHealthz)
+	mux.HandleFunc("/metrics", c.handleMetrics)
+	mux.HandleFunc("/cluster/healthz", c.handleClusterHealthz)
+	// /workloads is deterministic fleet-wide (every node compiles the
+	// same registry), so the local service answers for the cluster.
+	mux.Handle("/workloads", c.local.Handler())
+	return mux
+}
+
+// forwarded is the outcome of routing one RunRequest through the fleet:
+// the exact status and body to relay, plus attribution for headers, the
+// access log, and the batch assembler.
+type forwarded struct {
+	status   int
+	body     []byte
+	outcome  string
+	key      string
+	phases   string
+	shardID  string // backend's own X-Vcache-Shard, when it is configured with one
+	shard    string // which backend answered (peer URL, or "local" for the fallback)
+	attempts int
+	hedged   bool
+}
+
+// errorForwarded builds a terminal coordinator-side failure in the same
+// JSON error shape the backends speak.
+func errorForwarded(status int, format string, args ...any) forwarded {
+	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	return forwarded{status: status, body: append(body, '\n')}
+}
+
+// errText extracts the error message of a relayed non-2xx body.
+func errText(status int, body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err == nil && e.Error != "" {
+		return e.Error
+	}
+	return fmt.Sprintf("status %d", status)
+}
+
+// serveRun routes one RunRequest: resolve (so routing sees the content
+// key), order candidates on the ring, then hedged forwarding with local
+// fallback.
+func (c *Coordinator) serveRun(ctx context.Context, req service.RunRequest) forwarded {
+	c.mu.Lock()
+	c.requests++
+	c.mu.Unlock()
+	res, err := service.Resolve(req)
+	if err != nil {
+		// Resolution is deterministic: every shard would reject this
+		// request the same way, so answer 400 without spending a forward.
+		return errorForwarded(http.StatusBadRequest, "%s", err.Error())
+	}
+	return c.forward(ctx, req, res, c.route(res.Key))
+}
+
+// attemptResult is one shard's answer (or failure) to one relay.
+type attemptResult struct {
+	shard     int
+	f         forwarded // valid only when err is nil
+	retryable bool
+	err       error
+}
+
+// forward relays req along the candidate plan with hedging and bounded
+// retry. The first authoritative answer — success or a deterministic
+// error every shard would repeat — wins and is relayed verbatim; a
+// retryable failure (transport error or capacity status) advances the
+// plan after a bounded backoff; a candidate silent for HedgeAfter gets
+// a duplicate attempt launched next to it. When the attempt budget and
+// candidates are spent, the coordinator executes the run itself.
+func (c *Coordinator) forward(ctx context.Context, req service.RunRequest, res *service.Resolved, plan []int) forwarded {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return errorForwarded(http.StatusBadRequest, "encode request: %v", err)
+	}
+	budget := c.cfg.Retries + 1
+	if budget > len(plan) {
+		budget = len(plan)
+	}
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reels in any attempt still in flight when a winner returns
+
+	results := make(chan attemptResult, budget)
+	launched, pending, hedged := 0, 0, false
+	launch := func(hedge, retry bool) {
+		shard := plan[launched]
+		launched++
+		pending++
+		c.countAttempt(shard, hedge, retry)
+		go func() { results <- c.post(fctx, shard, body) }()
+	}
+	launch(false, false)
+	hedgeTimer := time.NewTimer(c.cfg.HedgeAfter)
+	defer hedgeTimer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return errorForwarded(http.StatusGatewayTimeout,
+				"request cancelled while forwarding (after %d attempts): %v", launched, ctx.Err())
+		case <-hedgeTimer.C:
+			if launched < budget {
+				hedged = true
+				launch(true, false)
+				hedgeTimer.Reset(c.cfg.HedgeAfter)
+			}
+		case r := <-results:
+			pending--
+			if r.err == nil && !r.retryable {
+				c.markHealthy(r.shard)
+				r.f.attempts = launched
+				r.f.hedged = hedged
+				return r.f
+			}
+			c.markFailed(r.shard, r.err)
+			if launched < budget {
+				// Bounded backoff before the retry: linear in the attempt
+				// number, capped at 8× the base, abandoned if the caller
+				// gives up while we wait.
+				backoff := time.Duration(launched) * c.cfg.Backoff
+				if max := 8 * c.cfg.Backoff; backoff > max {
+					backoff = max
+				}
+				select {
+				case <-time.After(backoff):
+				case <-ctx.Done():
+					return errorForwarded(http.StatusGatewayTimeout,
+						"request cancelled during retry backoff: %v", ctx.Err())
+				}
+				launch(false, true)
+			} else if pending == 0 {
+				return c.serveLocal(ctx, req, res, launched)
+			}
+		}
+	}
+}
+
+// post relays one /run to a shard. A transport failure or a capacity
+// status (429, 502, 503) is retryable — another shard can do better;
+// every other response is authoritative: 200 is the answer, and a 4xx
+// or a run error is deterministic (each shard computes the same bytes),
+// so repeating it elsewhere would only duplicate the work.
+func (c *Coordinator) post(ctx context.Context, shard int, body []byte) attemptResult {
+	peer := c.cfg.Peers[shard]
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/run", bytes.NewReader(body))
+	if err != nil {
+		return attemptResult{shard: shard, retryable: true, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(service.ForwardedHeader, "vcachectl")
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return attemptResult{shard: shard, retryable: true, err: err}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBody))
+	if err != nil {
+		return attemptResult{shard: shard, retryable: true, err: fmt.Errorf("read %s response: %w", peer, err)}
+	}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable:
+		return attemptResult{shard: shard, retryable: true,
+			err: fmt.Errorf("%s answered status %d: %s", peer, resp.StatusCode, errText(resp.StatusCode, b))}
+	}
+	return attemptResult{shard: shard, f: forwarded{
+		status:  resp.StatusCode,
+		body:    b,
+		outcome: resp.Header.Get("X-Vcache-Outcome"),
+		key:     resp.Header.Get("X-Vcache-Key"),
+		phases:  resp.Header.Get("X-Vcache-Phases"),
+		shardID: resp.Header.Get(service.ShardHeader),
+		shard:   peer,
+	}}
+}
+
+// serveLocal executes the run on the coordinator's embedded service —
+// the fallback of last resort once every candidate shard has failed. A
+// dead fleet degrades into one slow node, never an outage.
+func (c *Coordinator) serveLocal(ctx context.Context, req service.RunRequest, res *service.Resolved, attempts int) forwarded {
+	c.mu.Lock()
+	c.fallback++
+	c.mu.Unlock()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	body, outcome, err := c.local.Submit(ctx, res)
+	if err != nil {
+		f := errorForwarded(service.StatusOf(err), "%s", err.Error())
+		f.shard, f.attempts, f.outcome = "local", attempts, outcome
+		return f
+	}
+	return forwarded{
+		status: http.StatusOK, body: body, outcome: outcome,
+		key: res.Key, shard: "local", attempts: attempts,
+	}
+}
+
+func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a RunRequest to /run")
+		return
+	}
+	start := time.Now()
+	var req service.RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	f := c.serveRun(r.Context(), req)
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if f.key != "" {
+		h.Set("X-Vcache-Key", f.key)
+	}
+	if f.outcome != "" {
+		h.Set("X-Vcache-Outcome", f.outcome)
+	}
+	if f.phases != "" {
+		h.Set("X-Vcache-Phases", f.phases)
+	}
+	if f.shardID != "" {
+		h.Set(service.ShardHeader, f.shardID)
+	}
+	if f.shard != "" {
+		h.Set("X-Vcachectl-Shard", f.shard)
+	}
+	h.Set("X-Vcachectl-Attempts", strconv.Itoa(f.attempts))
+	w.WriteHeader(f.status)
+	_, _ = w.Write(f.body)
+	c.logRequest("/run", req, f, time.Since(start))
+}
+
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a BatchRequest to /batch")
+		return
+	}
+	start := time.Now()
+	var req service.BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(req.Runs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Runs) > c.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d runs exceeds the %d-run cap", len(req.Runs), c.cfg.MaxBatch)
+		return
+	}
+	c.mu.Lock()
+	c.batches++
+	c.mu.Unlock()
+	// Element-wise fan-out through the full routing path (each element
+	// resolves, routes, and hedges on its own), bounded by a worker pool
+	// sized to keep every shard busy without letting one batch flood the
+	// fleet. Results reassemble in request order — the same plan-order
+	// determinism the harness gives a local Plan.
+	resp := service.BatchResponse{Results: make([]service.BatchElem, len(req.Runs))}
+	workers := c.cfg.BatchWorkers
+	if workers > len(req.Runs) {
+		workers = len(req.Runs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				f := c.serveRun(r.Context(), req.Runs[i])
+				if f.status == http.StatusOK {
+					resp.Results[i] = service.BatchElem{Outcome: f.outcome, Run: f.body}
+				} else {
+					resp.Results[i] = service.BatchElem{Outcome: f.outcome, Error: errText(f.status, f.body)}
+				}
+			}
+		}()
+	}
+	for i := range req.Runs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+	ok, errs := 0, 0
+	for _, e := range resp.Results {
+		if e.Error != "" {
+			errs++
+		} else {
+			ok++
+		}
+	}
+	c.logBatch(len(req.Runs), ok, errs, time.Since(start))
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
+	s := c.Stats()
+	healthy := 0
+	for _, sh := range s.Shards {
+		if sh.Healthy {
+			healthy++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// The coordinator is alive as long as it can answer at all — the
+	// local fallback serves even a fully-dark fleet — so /healthz stays
+	// 200 and reports degradation in the body; /cluster/healthz has the
+	// per-shard detail.
+	status := "ok"
+	if healthy < len(s.Shards) {
+		status = "degraded"
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":  status,
+		"mode":    "coordinator",
+		"shards":  len(s.Shards),
+		"healthy": healthy,
+	})
+}
+
+func (c *Coordinator) handleClusterHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
+	s := c.Stats()
+	healthy := 0
+	for _, sh := range s.Shards {
+		if sh.Healthy {
+			healthy++
+		}
+	}
+	status := "ok"
+	if healthy < len(s.Shards) {
+		status = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":    status,
+		"replicas":  c.cfg.Replicas,
+		"hot_keys":  s.HotKeys,
+		"fallbacks": s.Fallbacks,
+		"shards":    s.Shards,
+	})
+}
+
+// requireGET mirrors the service's read-only method guard, in the same
+// 405 JSON error shape.
+func requireGET(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet {
+		return true
+	}
+	writeError(w, http.StatusMethodNotAllowed, "%s is read-only: GET it (got %s)", r.URL.Path, r.Method)
+	return false
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// ctlLog is one structured coordinator request-log line.
+type ctlLog struct {
+	Time     string  `json:"time"`
+	Path     string  `json:"path"`
+	Status   int     `json:"status"`
+	Shard    string  `json:"shard,omitempty"`
+	Attempts int     `json:"attempts,omitempty"`
+	Hedged   bool    `json:"hedged,omitempty"`
+	Outcome  string  `json:"outcome,omitempty"`
+	Key      string  `json:"key,omitempty"`
+	Workload string  `json:"workload,omitempty"`
+	Config   string  `json:"config,omitempty"`
+	Runs     int     `json:"runs,omitempty"`
+	DurMS    float64 `json:"dur_ms"`
+}
+
+func (c *Coordinator) logRequest(path string, req service.RunRequest, f forwarded, dur time.Duration) {
+	if c.cfg.Log == nil {
+		return
+	}
+	key := f.key
+	if len(key) > 12 {
+		key = key[:12]
+	}
+	c.writeLog(ctlLog{
+		Time:     time.Now().UTC().Format(time.RFC3339Nano),
+		Path:     path,
+		Status:   f.status,
+		Shard:    f.shard,
+		Attempts: f.attempts,
+		Hedged:   f.hedged,
+		Outcome:  f.outcome,
+		Key:      key,
+		Workload: req.Workload,
+		Config:   req.Config,
+		DurMS:    float64(dur) / float64(time.Millisecond),
+	})
+}
+
+func (c *Coordinator) logBatch(runs, ok, errs int, dur time.Duration) {
+	if c.cfg.Log == nil {
+		return
+	}
+	c.writeLog(ctlLog{
+		Time:    time.Now().UTC().Format(time.RFC3339Nano),
+		Path:    "/batch",
+		Status:  http.StatusOK,
+		Outcome: fmt.Sprintf("ok=%d err=%d", ok, errs),
+		Runs:    runs,
+		DurMS:   float64(dur) / float64(time.Millisecond),
+	})
+}
+
+func (c *Coordinator) writeLog(entry ctlLog) {
+	line, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	c.logMu.Lock()
+	_, _ = c.cfg.Log.Write(append(line, '\n'))
+	c.logMu.Unlock()
+}

@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// maxScrapeBody bounds one per-shard /metrics scrape (8 MiB).
+const maxScrapeBody = 8 << 20
+
+// handleMetrics renders the coordinator's own counters, one up-gauge per
+// shard, and the bucket-wise merged exposition of the whole fleet — so
+// one scrape of the coordinator observes the cluster the way one scrape
+// of vcached observes a single node.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
+	s := c.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "vcachectl_requests_total %d\n", s.Requests)
+	fmt.Fprintf(&b, "vcachectl_batches_total %d\n", s.Batches)
+	fmt.Fprintf(&b, "vcachectl_hedges_total %d\n", s.Hedges)
+	fmt.Fprintf(&b, "vcachectl_retries_total %d\n", s.Retries)
+	fmt.Fprintf(&b, "vcachectl_fallbacks_total %d\n", s.Fallbacks)
+	fmt.Fprintf(&b, "vcachectl_shards %d\n", len(s.Shards))
+	fmt.Fprintf(&b, "vcachectl_hot_keys %d\n", s.HotKeys)
+	for _, sh := range s.Shards {
+		fmt.Fprintf(&b, "vcachectl_shard_forwards_total{shard=%q} %d\n", sh.Peer, sh.Forwards)
+		fmt.Fprintf(&b, "vcachectl_shard_hedges_total{shard=%q} %d\n", sh.Peer, sh.Hedges)
+		fmt.Fprintf(&b, "vcachectl_shard_errors_total{shard=%q} %d\n", sh.Peer, sh.Errors)
+		healthy := 0
+		if sh.Healthy {
+			healthy = 1
+		}
+		fmt.Fprintf(&b, "vcachectl_shard_healthy{shard=%q} %d\n", sh.Peer, healthy)
+	}
+
+	// Scrape every shard concurrently — plus the embedded fallback
+	// service as shard "local", so runs the coordinator executed itself
+	// stay visible in the fleet totals.
+	texts := make([]string, len(c.cfg.Peers)+1)
+	up := make([]bool, len(c.cfg.Peers))
+	var wg sync.WaitGroup
+	for i, peer := range c.cfg.Peers {
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			text, err := c.scrape(r.Context(), peer)
+			if err == nil {
+				texts[i], up[i] = text, true
+			}
+		}(i, peer)
+	}
+	rec := httptest.NewRecorder()
+	c.local.MetricsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	texts[len(c.cfg.Peers)] = rec.Body.String()
+	wg.Wait()
+	for i, peer := range c.cfg.Peers {
+		u := 0
+		if up[i] {
+			u = 1
+		}
+		fmt.Fprintf(&b, "vcachectl_shard_up{shard=%q} %d\n", peer, u)
+	}
+	b.WriteString(mergeMetrics(texts))
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = io.WriteString(w, b.String())
+}
+
+// scrape fetches one shard's /metrics text.
+func (c *Coordinator) scrape(ctx context.Context, peer string) (string, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.ScrapeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxScrapeBody))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s/metrics answered status %d", peer, resp.StatusCode)
+	}
+	return string(body), nil
+}
+
+// mergeMetrics sums Prometheus text expositions series-wise: two lines
+// with the same name and label set add their values. This is exactly
+// valid for the fleet's counters and gauges (sums of sums) and — the
+// useful part — for its histograms: cumulative le="…" buckets, _sum and
+// _count all add bucket-wise, so the merged vcached_run_latency_ms is
+// the true fleet-wide latency distribution, not an average of averages.
+//
+// Series keep first-appearance order across the inputs. Each vcached
+// renders its exposition in a fixed deterministic order, so the merged
+// text is deterministic too (diffable between scrapes), with one
+// wrinkle: a labeled series appears once the first shard has observed
+// its label pair, so the tail order can differ between *topologies* —
+// consumers key on series names, never on line position.
+func mergeMetrics(texts []string) string {
+	type series struct {
+		key   string
+		value float64
+	}
+	order := make([]string, 0, 128)
+	sums := make(map[string]*series, 128)
+	for _, text := range texts {
+		for _, line := range strings.Split(text, "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			sp := strings.LastIndexByte(line, ' ')
+			if sp <= 0 {
+				continue
+			}
+			key := line[:sp]
+			v, err := strconv.ParseFloat(line[sp+1:], 64)
+			if err != nil {
+				continue
+			}
+			s := sums[key]
+			if s == nil {
+				s = &series{key: key}
+				sums[key] = s
+				order = append(order, key)
+			}
+			s.value += v
+		}
+	}
+	var b strings.Builder
+	for _, key := range order {
+		fmt.Fprintf(&b, "%s %s\n", key, formatValue(sums[key].value))
+	}
+	return b.String()
+}
+
+// formatValue renders a merged sample: integral values (all the
+// counters) print as integers, fractional ones (histogram _sum series)
+// keep three decimals, matching the precision vcached itself renders.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}
+
+// sortedSeriesNames lists the distinct metric names (label sets
+// stripped) of a merged exposition — a debugging aid for tests and the
+// selftest.
+func sortedSeriesNames(text string) []string {
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		} else if i := strings.IndexByte(name, ' '); i >= 0 {
+			name = name[:i]
+		}
+		seen[name] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

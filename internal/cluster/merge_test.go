@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMergeMetricsSums: same-series lines add across expositions;
+// comments and blanks are skipped; counters render as integers.
+func TestMergeMetricsSums(t *testing.T) {
+	a := "# HELP ignored\nvcached_requests_total 3\nvcached_cache_hits_total 1\n\n"
+	b := "vcached_requests_total 4\nvcached_cache_hits_total 0\nvcached_runs_started_total 2\n"
+	got := mergeMetrics([]string{a, b})
+	want := "vcached_requests_total 7\nvcached_cache_hits_total 1\nvcached_runs_started_total 2\n"
+	if got != want {
+		t.Fatalf("merged exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestMergeMetricsHistograms: labeled cumulative buckets, _sum and
+// _count merge bucket-wise — the merged histogram is the fleet's true
+// distribution.
+func TestMergeMetricsHistograms(t *testing.T) {
+	a := strings.Join([]string{
+		`vcached_run_latency_ms_bucket{le="1"} 2`,
+		`vcached_run_latency_ms_bucket{le="+Inf"} 3`,
+		`vcached_run_latency_ms_sum 4.500`,
+		`vcached_run_latency_ms_count 3`,
+		`vcached_spec_run_latency_ms_bucket{workload="kb",config="F",le="1"} 1`,
+	}, "\n") + "\n"
+	b := strings.Join([]string{
+		`vcached_run_latency_ms_bucket{le="1"} 1`,
+		`vcached_run_latency_ms_bucket{le="+Inf"} 5`,
+		`vcached_run_latency_ms_sum 0.250`,
+		`vcached_run_latency_ms_count 5`,
+		`vcached_spec_run_latency_ms_bucket{workload="kb",config="F",le="1"} 4`,
+	}, "\n") + "\n"
+	got := mergeMetrics([]string{a, b})
+	for _, want := range []string{
+		`vcached_run_latency_ms_bucket{le="1"} 3`,
+		`vcached_run_latency_ms_bucket{le="+Inf"} 8`,
+		`vcached_run_latency_ms_sum 4.750`,
+		`vcached_run_latency_ms_count 8`,
+		`vcached_spec_run_latency_ms_bucket{workload="kb",config="F",le="1"} 5`,
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Fatalf("merged exposition missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestMergeMetricsOrder: series keep first-appearance order, so a
+// deterministic per-shard render yields a deterministic merge.
+func TestMergeMetricsOrder(t *testing.T) {
+	got := mergeMetrics([]string{"b 1\na 1\n", "c 1\na 2\n"})
+	want := "b 1\na 3\nc 1\n"
+	if got != want {
+		t.Fatalf("merged order:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestMergeMetricsMalformed: unparsable lines are dropped rather than
+// poisoning the merge.
+func TestMergeMetricsMalformed(t *testing.T) {
+	got := mergeMetrics([]string{"good 1\nnovalue\nbad notanumber\n", "good 2\n"})
+	if got != "good 3\n" {
+		t.Fatalf("merged exposition: %q, want %q", got, "good 3\n")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{7, "7"},
+		{123456, "123456"},
+		{4.75, "4.750"},
+		{0.125, "0.125"},
+	}
+	for _, c := range cases {
+		if got := formatValue(c.v); got != c.want {
+			t.Errorf("formatValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSortedSeriesNames(t *testing.T) {
+	text := "b_total 1\na_bucket{le=\"1\"} 2\n# comment\na_bucket{le=\"+Inf\"} 3\n"
+	got := sortedSeriesNames(text)
+	if len(got) != 2 || got[0] != "a_bucket" || got[1] != "b_total" {
+		t.Fatalf("sortedSeriesNames = %v", got)
+	}
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the per-shard virtual-node count: enough points on
+// the circle that key load splits within a few percent of even across a
+// handful of shards.
+const DefaultVnodes = 128
+
+// Ring is a consistent-hash ring over a static shard list. Each shard
+// projects vnodes points onto a 64-bit circle; a key belongs to the
+// first point at or clockwise of its own hash. Replicas of a key are
+// the next distinct shards clockwise, so growing or shrinking the fleet
+// by one shard only remaps the keys adjacent to that shard's points.
+//
+// Shards are identified by index into the name list given to NewRing,
+// but point positions hash the shard *name* (its peer URL), so the
+// key→shard mapping is stable under reordering of the -peers flag.
+type Ring struct {
+	points []ringPoint
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// NewRing builds a ring over the named shards; vnodes <= 0 takes
+// DefaultVnodes.
+func NewRing(names []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{shards: len(names), points: make([]ringPoint, 0, len(names)*vnodes)}
+	for i, name := range names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", name, v)), shard: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r
+}
+
+// Shards returns the number of shards on the ring.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owners returns the n distinct shards owning key, primary first,
+// walking clockwise from the key's position. n is clamped to [1, the
+// shard count], so Owners(key, Shards()) is the key's full preference
+// order over the fleet.
+func (r *Ring) Owners(key string, n int) []int {
+	if r.shards == 0 {
+		return nil
+	}
+	if n <= 0 {
+		n = 1
+	}
+	if n > r.shards {
+		n = r.shards
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for len(owners) < n {
+		if i == len(r.points) {
+			i = 0
+		}
+		p := r.points[i]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			owners = append(owners, p.shard)
+		}
+		i++
+	}
+	return owners
+}

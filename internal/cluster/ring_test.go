@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	return keys
+}
+
+// TestRingDeterminism: two rings built from the same inputs route every
+// key identically — the property the whole cluster leans on.
+func TestRingDeterminism(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1 := NewRing(names, 64)
+	r2 := NewRing(names, 64)
+	for _, k := range ringKeys(200) {
+		if !reflect.DeepEqual(r1.Owners(k, 3), r2.Owners(k, 3)) {
+			t.Fatalf("key %q: owners differ between identical rings", k)
+		}
+	}
+}
+
+// TestRingOwnersDistinct: Owners(key, n) returns n distinct shards, and
+// asking for the full fleet yields a permutation of it.
+func TestRingOwnersDistinct(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := NewRing(names, 64)
+	for _, k := range ringKeys(100) {
+		owners := r.Owners(k, len(names))
+		if len(owners) != len(names) {
+			t.Fatalf("key %q: got %d owners, want %d", k, len(owners), len(names))
+		}
+		seen := make(map[int]bool)
+		for _, o := range owners {
+			if o < 0 || o >= len(names) {
+				t.Fatalf("key %q: owner %d out of range", k, o)
+			}
+			if seen[o] {
+				t.Fatalf("key %q: duplicate owner %d in %v", k, o, owners)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+// TestRingClamping: n is clamped to [1, shards].
+func TestRingClamping(t *testing.T) {
+	r := NewRing([]string{"http://a:1", "http://b:1"}, 16)
+	if got := r.Owners("k", 0); len(got) != 1 {
+		t.Fatalf("Owners(k, 0) = %v, want one owner", got)
+	}
+	if got := r.Owners("k", -3); len(got) != 1 {
+		t.Fatalf("Owners(k, -3) = %v, want one owner", got)
+	}
+	if got := r.Owners("k", 99); len(got) != 2 {
+		t.Fatalf("Owners(k, 99) = %v, want both shards", got)
+	}
+	var empty Ring
+	if got := empty.Owners("k", 1); got != nil {
+		t.Fatalf("empty ring Owners = %v, want nil", got)
+	}
+}
+
+// TestRingNameStability: the key→shard-name mapping must not move when
+// the -peers flag lists the same fleet in a different order — points
+// hash the shard name, not its index.
+func TestRingNameStability(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1"}
+	shuffled := []string{"http://c:1", "http://a:1", "http://b:1"}
+	r1 := NewRing(names, 64)
+	r2 := NewRing(shuffled, 64)
+	for _, k := range ringKeys(200) {
+		n1 := names[r1.Owners(k, 1)[0]]
+		n2 := shuffled[r2.Owners(k, 1)[0]]
+		if n1 != n2 {
+			t.Fatalf("key %q: primary %q with one peer order, %q with another", k, n1, n2)
+		}
+	}
+}
+
+// TestRingDistribution: with default vnodes, no shard of three owns less
+// than ~15%% or more than ~55%% of a large key population — a loose
+// check that vnode projection actually spreads load.
+func TestRingDistribution(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(names, 0) // DefaultVnodes
+	const n = 9000
+	counts := make([]int, len(names))
+	for _, k := range ringKeys(n) {
+		counts[r.Owners(k, 1)[0]]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("shard %d owns %.1f%% of keys (counts %v): distribution too skewed", i, 100*frac, counts)
+		}
+	}
+}

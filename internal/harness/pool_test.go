@@ -1,11 +1,40 @@
 package harness
 
 import (
+	"context"
+	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"vcache/internal/kernel"
 	"vcache/internal/policy"
 )
+
+// poolTestSpec is a small real run for the build-singleflight tests:
+// the workload package cannot be imported here (cycle), so the spec
+// carries its own timed phase over a freshly spawned process.
+func poolTestSpec() Spec {
+	return Spec{
+		Workload: Workload{
+			Name: "pool-singleflight",
+			Run: func(k *kernel.Kernel, s Scale) error {
+				p, err := k.Spawn(nil, 0, 8)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < 64; i++ {
+					if err := k.TouchHeap(p, uint64(i%8), 4); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		Config: policy.New(),
+		Scale:  Scale{Name: "test", Factor: 1},
+	}
+}
 
 // testSnapshot boots one minimal kernel and freezes it — a real image,
 // so Bytes accounting is exercised with real geometry.
@@ -68,6 +97,99 @@ func TestSnapshotPoolLRU(t *testing.T) {
 	p.put("b", snap)
 	if s := p.Stats(); s.Entries != 2 || s.Evictions != 2 || s.Bytes != 2*per {
 		t.Fatalf("after in-place replace: %+v", s)
+	}
+}
+
+// TestSnapshotPoolBuildSingleflight: concurrent misses on one
+// SnapshotKey pay exactly one cold boot — the first misser becomes the
+// builder, every other executor waits on its build and forks the same
+// image instead of racing a duplicate boot+setup into put (the
+// snapshot-pool dogpile).
+func TestSnapshotPoolBuildSingleflight(t *testing.T) {
+	s := poolTestSpec()
+	pool := NewSnapshotPool(4)
+	const n = 8
+	results := make([]Result, n)
+	phases := make([]Phases, n)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			r, _, ph, err := ExecTimedPool(context.Background(), s, pool)
+			if err != nil {
+				t.Errorf("run %d: %v", i, err)
+				return
+			}
+			results[i] = r
+			phases[i] = ph
+		}()
+	}
+	close(start)
+	wg.Wait()
+	st := pool.Stats()
+	if st.Builds != 1 {
+		t.Fatalf("%d concurrent runs built %d cold images, want exactly 1 (stats %+v)", n, st.Builds, st)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("pool holds %d entries, want 1", st.Entries)
+	}
+	if st.Hits+st.Misses != n {
+		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, n)
+	}
+	for i := 1; i < n; i++ {
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("run %d result diverges from run 0", i)
+		}
+	}
+	// At most one run — the builder — paid Boot+Setup; waiters and
+	// late-coming hits forked the shared image.
+	booted := 0
+	for _, ph := range phases {
+		if ph.Boot > 0 {
+			booted++
+		}
+	}
+	if booted > 1 {
+		t.Fatalf("%d runs report a Boot phase, want at most 1 (the builder)", booted)
+	}
+}
+
+// TestSnapshotPoolBuilderFailureHandoff: a waiter that observes its
+// builder fail must not inherit the failure (the builder's context may
+// simply have been cancelled) — it re-checks the pool and takes over
+// the build itself.
+func TestSnapshotPoolBuilderFailureHandoff(t *testing.T) {
+	s := poolTestSpec()
+	pool := NewSnapshotPool(4)
+	key := s.SnapshotKey()
+	b, owner := pool.join(key)
+	if !owner {
+		t.Fatal("first join is not the owner")
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := ExecTimedPool(context.Background(), s, pool)
+		done <- err
+	}()
+	// Give the executor time to miss and join as a waiter, then settle
+	// the held build with a failure. (If the executor has not joined yet
+	// it simply becomes the builder directly — the same end state.)
+	time.Sleep(50 * time.Millisecond)
+	pool.finish(key, b, nil, context.Canceled)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run inherited the builder's failure: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not settle after the builder failed")
+	}
+	if st := pool.Stats(); st.Entries != 1 {
+		t.Fatalf("pool holds %d entries after the handoff, want 1", st.Entries)
 	}
 }
 

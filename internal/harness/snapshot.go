@@ -45,8 +45,12 @@ type SnapshotPoolStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
-	Entries   int
-	Bytes     int64
+	// Builds counts cold image builds actually started: with the per-key
+	// build singleflight, N concurrent misses on one key cost one build,
+	// so under contention Builds stays well below Misses.
+	Builds  uint64
+	Entries int
+	Bytes   int64
 }
 
 type snapshotEntry struct {
@@ -65,10 +69,26 @@ type SnapshotPool struct {
 	ll    *list.List               // front = most recently used
 	byKey map[string]*list.Element // -> *snapshotEntry
 
+	// building is the per-key build singleflight: the first executor to
+	// miss on a key becomes its builder; executors missing while the
+	// build is in flight wait on it instead of each paying a full cold
+	// boot + setup (the snapshot-pool dogpile).
+	building map[string]*snapshotBuild
+
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	builds    uint64
 	bytes     int64
+}
+
+// snapshotBuild is one in-flight cold build. snap and err are written
+// exactly once, before done is closed; waiters block on done first, so
+// the close is the publication barrier.
+type snapshotBuild struct {
+	done chan struct{}
+	snap *kernel.Snapshot
+	err  error
 }
 
 // NewSnapshotPool returns a pool holding up to capacity images; a
@@ -78,7 +98,12 @@ func NewSnapshotPool(capacity int) *SnapshotPool {
 	if capacity <= 0 {
 		return nil
 	}
-	return &SnapshotPool{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+	return &SnapshotPool{
+		cap:      capacity,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element),
+		building: make(map[string]*snapshotBuild),
+	}
 }
 
 // get returns the pooled image for key, counting a hit or miss.
@@ -92,6 +117,47 @@ func (p *SnapshotPool) get(key string) *kernel.Snapshot {
 	}
 	p.misses++
 	return nil
+}
+
+// peek is get without hit/miss accounting, for re-checks inside the
+// build-singleflight loop (a waiter that saw its builder fail re-checks
+// the pool before taking over the build; that look is bookkeeping, not
+// a new demand signal).
+func (p *SnapshotPool) peek(key string) *kernel.Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.byKey[key]; ok {
+		p.ll.MoveToFront(el)
+		return el.Value.(*snapshotEntry).snap
+	}
+	return nil
+}
+
+// join returns the in-flight build for key, creating one if absent.
+// owner reports whether this caller created it — the owner must boot
+// the image and settle the build with finish; everyone else waits on
+// build.done.
+func (p *SnapshotPool) join(key string) (b *snapshotBuild, owner bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b, ok := p.building[key]; ok {
+		return b, false
+	}
+	b = &snapshotBuild{done: make(chan struct{})}
+	p.building[key] = b
+	p.builds++
+	return b, true
+}
+
+// finish publishes the build outcome and releases the key. A successful
+// image is put in the pool before finish runs, so after the key leaves
+// the building map a fresh miss on it always finds the pooled image.
+func (p *SnapshotPool) finish(key string, b *snapshotBuild, snap *kernel.Snapshot, err error) {
+	b.snap, b.err = snap, err
+	p.mu.Lock()
+	delete(p.building, key)
+	p.mu.Unlock()
+	close(b.done)
 }
 
 // put inserts (or replaces) the image for key, evicting least recently
@@ -133,6 +199,7 @@ func (p *SnapshotPool) Stats() SnapshotPoolStats {
 		Hits:      p.hits,
 		Misses:    p.misses,
 		Evictions: p.evictions,
+		Builds:    p.builds,
 		Entries:   p.ll.Len(),
 		Bytes:     p.bytes,
 	}
@@ -162,13 +229,35 @@ func ExecTimedPool(ctx context.Context, s Spec, pool *SnapshotPool) (Result, *tr
 	} else {
 		key := s.SnapshotKey()
 		snap := pool.get(key)
-		if snap == nil {
-			cold, err := boot(ctx, s, &ph)
-			if err != nil {
-				return Result{}, nil, ph, err
+		for snap == nil {
+			b, owner := pool.join(key)
+			if owner {
+				cold, err := boot(ctx, s, &ph)
+				if err != nil {
+					pool.finish(key, b, nil, err)
+					return Result{}, nil, ph, err
+				}
+				snap = cold.Snapshot()
+				pool.put(key, snap)
+				pool.finish(key, b, snap, nil)
+				break
 			}
-			snap = cold.Snapshot()
-			pool.put(key, snap)
+			// Another executor is already booting this image: wait for it
+			// instead of paying a duplicate cold boot. The builder's
+			// failure is not necessarily ours — its context may simply
+			// have been cancelled — so on error, re-check the pool and
+			// loop; the next join makes this executor the builder, and
+			// its own boot reports its own error.
+			select {
+			case <-b.done:
+			case <-ctx.Done():
+				return Result{}, nil, ph, fmt.Errorf("%s/%s: %w", s.Workload.Name, s.Config.Label, ctx.Err())
+			}
+			if b.err == nil {
+				snap = b.snap
+				break
+			}
+			snap = pool.peek(key)
 		}
 		start := time.Now()
 		k = snap.Fork()

@@ -48,8 +48,21 @@ func writeJSONError(w http.ResponseWriter, status int, format string, args ...an
 	_ = json.NewEncoder(w).Encode(httpError{Error: fmt.Sprintf(format, args...)})
 }
 
-// statusOf maps a Submit error onto an HTTP status.
-func statusOf(err error) int {
+// Headers the clustered serving path speaks: a coordinator
+// (internal/cluster) marks relayed requests with ForwardedHeader so
+// shards can account forwarded traffic apart from direct traffic, and a
+// shard configured with Config.ShardID stamps its responses with
+// ShardHeader so results stay attributable across the fleet.
+const (
+	ForwardedHeader = "X-Vcache-Forwarded"
+	ShardHeader     = "X-Vcache-Shard"
+)
+
+// StatusOf maps a Submit error onto an HTTP status. It is exported for
+// the cluster coordinator, whose local-fallback path runs Submit
+// directly and must report failures with the same statuses a shard
+// would.
+func StatusOf(err error) int {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests // 429
@@ -67,6 +80,7 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusMethodNotAllowed, "POST a RunRequest to /run")
 		return
 	}
+	s.markShard(w, r)
 	start := time.Now()
 	var req RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -134,9 +148,21 @@ func (s *Service) serveOne(ctx context.Context, req RunRequest) served {
 	body, outcome, runPhases, err := s.submit(ctx, res)
 	ph.fill(runPhases)
 	if err != nil {
-		return served{outcome: outcome, res: res, status: statusOf(err), errMsg: err.Error(), phases: ph}
+		return served{outcome: outcome, res: res, status: StatusOf(err), errMsg: err.Error(), phases: ph}
 	}
 	return served{body: body, outcome: outcome, res: res, status: http.StatusOK, phases: ph}
+}
+
+// markShard stamps the response with this daemon's shard identity and
+// accounts coordinator-relayed requests — the shard-aware half of the
+// cluster protocol (see internal/cluster).
+func (s *Service) markShard(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ShardID != "" {
+		w.Header().Set(ShardHeader, s.cfg.ShardID)
+	}
+	if r.Header.Get(ForwardedHeader) != "" {
+		s.m.inc(&s.m.forwarded)
+	}
 }
 
 // BatchRequest submits a whole plan of runs in one call.
@@ -162,6 +188,7 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusMethodNotAllowed, "POST a BatchRequest to /batch")
 		return
 	}
+	s.markShard(w, r)
 	start := time.Now()
 	var req BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -231,7 +258,22 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.logBatch(len(req.Runs), ok, errs, time.Since(start))
 }
 
+// requireGET guards a read-only endpoint: anything but GET is rejected
+// with the same 405 JSON error shape /run uses for non-POST methods.
+// Before this guard, a POST to /healthz or /metrics would fall through
+// and execute the handler.
+func requireGET(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet {
+		return true
+	}
+	writeJSONError(w, http.StatusMethodNotAllowed, "%s is read-only: GET it (got %s)", r.URL.Path, r.Method)
+	return false
+}
+
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if s.Draining() {
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -245,6 +287,9 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
 	var b strings.Builder
 	s.m.render(&b, s.Metrics())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -252,6 +297,9 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
 	type cfgInfo struct {
 		Label string `json:"label"`
 		Name  string `json:"name"`
@@ -346,7 +394,14 @@ func (s *Service) logRequest(path string, status int, outcome string, res *Resol
 		Phases:   phases,
 	}
 	if res != nil {
-		entry.Key = res.Key[:12]
+		// A resolved key is normally 64 hex digits, but never assume it:
+		// slicing a shorter key (a Resolved built on a rejection path, or
+		// by a future caller) would panic the daemon from its own access
+		// log. Truncate only what is there.
+		entry.Key = res.Key
+		if len(entry.Key) > 12 {
+			entry.Key = entry.Key[:12]
+		}
 	}
 	s.writeLog(entry)
 }

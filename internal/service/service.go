@@ -76,6 +76,11 @@ type Config struct {
 	// larger batch is rejected with 400 before any element is admitted.
 	// <= 0 means 256.
 	MaxBatch int
+	// ShardID, when non-empty, names this daemon as one shard of a
+	// vcached cluster: /run and /batch responses carry it in an
+	// X-Vcache-Shard header so a coordinator (internal/cluster,
+	// cmd/vcachectl) can attribute which backend produced a result.
+	ShardID string
 	// Log, when non-nil, receives one structured JSON line per request.
 	Log io.Writer
 }
@@ -409,16 +414,17 @@ func (s *Service) Metrics() Snapshot {
 	cs := s.cache.stats()
 	s.m.mu.Lock()
 	snap := Snapshot{
-		Requests:         s.m.requests,
-		SingleflightHits: s.m.singleflightHits,
-		RunsStarted:      s.m.runsStarted,
-		RunsCompleted:    s.m.runsCompleted,
-		RunErrors:        s.m.runErrors,
-		RunTimeouts:      s.m.runTimeouts,
-		RejectedInvalid:  s.m.rejectedInvalid,
-		RejectedQueue:    s.m.rejectedQueue,
-		RejectedDraining: s.m.rejectedDraining,
-		Timeouts:         s.m.timeouts,
+		Requests:          s.m.requests,
+		SingleflightHits:  s.m.singleflightHits,
+		RunsStarted:       s.m.runsStarted,
+		RunsCompleted:     s.m.runsCompleted,
+		RunErrors:         s.m.runErrors,
+		RunTimeouts:       s.m.runTimeouts,
+		RejectedInvalid:   s.m.rejectedInvalid,
+		RejectedQueue:     s.m.rejectedQueue,
+		RejectedDraining:  s.m.rejectedDraining,
+		Timeouts:          s.m.timeouts,
+		ForwardedRequests: s.m.forwarded,
 	}
 	s.m.mu.Unlock()
 	snap.CacheHits = cs.Hits
