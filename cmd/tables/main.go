@@ -31,6 +31,7 @@ import (
 
 	"vcache/internal/harness"
 	"vcache/internal/policy"
+	"vcache/internal/replay"
 	"vcache/internal/report"
 	"vcache/internal/sim"
 	"vcache/internal/workload"
@@ -109,6 +110,17 @@ func table1(ctx context.Context, r *harness.Runner, scale workload.Scale) string
 func table4(ctx context.Context, r *harness.Runner, scale workload.Scale) string {
 	benchmarks := workload.Benchmarks()
 	plan := harness.Matrix(benchmarks, policy.Configs(), scale)
+	// The CXL-PCC scenario rides along as one more row group: the same
+	// sharing patterns under explicit flush/purge maintenance, measured
+	// beside A–F on the same machine. It is a replay program, so the run
+	// is exactly its published op list.
+	for _, cfg := range policy.Configs() {
+		w, err := replay.CXLPCCWorkload(cfg.Label, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan = append(plan, harness.Spec{Workload: w, Config: cfg, Scale: scale})
+	}
 	results := mustResults(r.RunContext(ctx, plan))
 	var names []string
 	var grouped [][]workload.Result
@@ -117,6 +129,8 @@ func table4(ctx context.Context, r *harness.Runner, scale workload.Scale) string
 		names = append(names, w.Name)
 		grouped = append(grouped, results[i*per:(i+1)*per])
 	}
+	names = append(names, replay.CXLPCCName+" (explicit-coherence scenario)")
+	grouped = append(grouped, results[len(benchmarks)*per:])
 	return report.Table4(names, grouped)
 }
 

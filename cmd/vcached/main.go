@@ -50,6 +50,7 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "max runs per /batch request (0 = default cap)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof/* and /metrics on this address (empty = disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	enableReplay := flag.Bool("enable-replay", false, "open the /replay endpoint: POST a recorded trace export to re-execute it")
 	shardID := flag.String("shard-id", "", "name this daemon as one cluster shard: /run and /batch responses carry it in X-Vcache-Shard")
 	peers := flag.String("peers", "", "comma-separated backend base URLs; when set, this daemon serves as a cluster coordinator over them (its own service is the fallback executor)")
 	replicas := flag.Int("replicas", 0, "coordinator: shards serving each hot key (0 = default 2)")
@@ -81,6 +82,7 @@ func main() {
 		RunTimeout:     *runTimeout,
 		MaxScale:       *maxScale,
 		MaxBatch:       *maxBatch,
+		EnableReplay:   *enableReplay,
 		ShardID:        *shardID,
 		Log:            logW,
 	})

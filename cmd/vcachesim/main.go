@@ -17,6 +17,8 @@
 //	vcachesim -workload kernel-build -config F -trace-json trace.json
 //	vcachesim -workload kernel-build -config F -phases
 //	vcachesim -workload kernel-build -config F -warm-boot -phases
+//	vcachesim -workload afs-bench -config F -record run.json
+//	vcachesim -replay run.json
 //	vcachesim -list
 //
 // -trace-json writes the run's consistency-event ring as structured
@@ -26,6 +28,12 @@
 // runs the measured phase on a fork of a post-setup machine snapshot
 // instead of the booted kernel itself — the restore span in -phases is
 // the warm-boot cost, and the result is identical either way.
+//
+// -record FILE runs with operation recording on and writes the exported
+// trace — a re-executable program — to FILE. -replay FILE re-executes
+// such an export on a fresh system, verifies the closure property (the
+// replayed run re-exports byte-identical JSON), and prints the replayed
+// result; it takes no -workload/-config, those come from the recording.
 package main
 
 import (
@@ -39,6 +47,7 @@ import (
 	"vcache/internal/harness"
 	"vcache/internal/kernel"
 	"vcache/internal/policy"
+	"vcache/internal/replay"
 	"vcache/internal/sim"
 	"vcache/internal/trace"
 	"vcache/internal/workload"
@@ -57,9 +66,14 @@ func main() {
 	warm := flag.Bool("warm-boot", false, "snapshot the booted machine and run the measured phase from a fork (the result is identical; see -phases for the restore span)")
 	cpus := flag.Int("cpus", 1, "processor count (Section 3.3 multiprocessor mode)")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
+	record := flag.String("record", "", "record the run's operations and write the replayable trace export to this file")
+	replayFile := flag.String("replay", "", "re-execute a recorded trace export, verify closure, and print its result")
 	flag.Parse()
 	if *traceJSON != "" && *traceN == 0 {
 		*traceN = 256
+	}
+	if *record != "" && *traceN == 0 {
+		*traceN = 1 << 16
 	}
 
 	if *list {
@@ -82,6 +96,23 @@ func main() {
 			os.Exit(1)
 		}
 		log.Fatal(err)
+	}
+
+	if *replayFile != "" {
+		res, err := runReplay(*replayFile)
+		if err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			printResult(res)
+		}
+		return
 	}
 
 	if *factor <= 0 {
@@ -109,11 +140,12 @@ func main() {
 		pool = harness.NewSnapshotPool(1)
 	}
 	r, recorder, ph, err := harness.ExecTimedPool(context.Background(), harness.Spec{
-		Workload: w,
-		Config:   cfg,
-		Scale:    workload.Scale{Name: "custom", Factor: *factor},
-		Kernel:   &kc,
-		TraceN:   *traceN,
+		Workload:  w,
+		Config:    cfg,
+		Scale:     workload.Scale{Name: "custom", Factor: *factor},
+		Kernel:    &kc,
+		TraceN:    *traceN,
+		RecordOps: *record != "",
 	}, pool)
 	if err != nil {
 		fail(err)
@@ -132,7 +164,7 @@ func main() {
 	} else {
 		printResult(r)
 	}
-	if *traceN > 0 && recorder != nil && !*jsonOut && *traceJSON == "" {
+	if *traceN > 0 && recorder != nil && !*jsonOut && *traceJSON == "" && *record == "" {
 		fmt.Printf("\nlast %d consistency events:\n", len(recorder.Events()))
 		if err := recorder.Dump(os.Stdout); err != nil {
 			log.Fatal(err)
@@ -143,10 +175,52 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *record != "" {
+		if err := writeTraceJSON(*record, recorder); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "recorded %d ops to %s\n", countOps(recorder.Export()), *record)
+	}
 	if r.OracleViolations != 0 {
 		fmt.Fprintf(os.Stderr, "CONSISTENCY VIOLATIONS: %d stale transfers observed\n", r.OracleViolations)
 		os.Exit(1)
 	}
+}
+
+// runReplay re-executes a recorded trace export on a fresh system and
+// verifies the closure property: the replayed run must re-export
+// byte-identical trace JSON. Determinism makes this a full integrity
+// check of both the recording and the simulator.
+func runReplay(path string) (workload.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return workload.Result{}, err
+	}
+	var ex trace.Export
+	if err := json.Unmarshal(data, &ex); err != nil {
+		return workload.Result{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	res, got, err := replay.Replay(context.Background(), ex)
+	if err != nil {
+		return workload.Result{}, err
+	}
+	if err := replay.CompareExports(ex, got); err != nil {
+		return workload.Result{}, fmt.Errorf("closure violated: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "replayed %d ops (%s, config %s); re-exported trace is byte-identical\n",
+		countOps(ex), ex.Origin.Workload, ex.Origin.Config)
+	return res, nil
+}
+
+// countOps counts the recorded operations (EvOp events) in an export.
+func countOps(ex trace.Export) int {
+	n := 0
+	for _, e := range ex.Events {
+		if e.Kind == trace.EvOp {
+			n++
+		}
+	}
+	return n
 }
 
 // writeTraceJSON emits the recorder's structured export — the same wire

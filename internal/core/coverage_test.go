@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"vcache/internal/arch"
+)
+
+func TestCoverageCellsStableAndComplete(t *testing.T) {
+	cells := Cells()
+	if len(cells) != NumCells {
+		t.Fatalf("Cells() returned %d cells, want %d", len(cells), NumCells)
+	}
+	if NumCells != 48 {
+		t.Fatalf("NumCells = %d, want 48 (6 ops × 2 roles × 4 states)", NumCells)
+	}
+	seen := make(map[int]bool)
+	for _, c := range cells {
+		if seen[c.index()] {
+			t.Fatalf("duplicate cell %s", c)
+		}
+		seen[c.index()] = true
+	}
+}
+
+func TestCoverageNoteCountMask(t *testing.T) {
+	cv := NewCoverage()
+	if cv.Covered() != 0 || cv.Full() || cv.Mask() != 0 {
+		t.Fatal("fresh coverage is not empty")
+	}
+	c := Cell{Op: OpFlush, Role: RoleOther, State: Dirty}
+	cv.Note(OpFlush, RoleOther, Dirty)
+	cv.Note(OpFlush, RoleOther, Dirty)
+	if got := cv.Count(c); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	if cv.Covered() != 1 {
+		t.Fatalf("Covered = %d, want 1", cv.Covered())
+	}
+	if cv.Mask() != 1<<uint(c.index()) {
+		t.Fatalf("Mask = %#x, want bit %d", cv.Mask(), c.index())
+	}
+	if len(cv.Missing()) != NumCells-1 {
+		t.Fatalf("Missing = %d cells, want %d", len(cv.Missing()), NumCells-1)
+	}
+	cv.Reset()
+	if cv.Covered() != 0 {
+		t.Fatal("Reset did not clear the map")
+	}
+}
+
+func TestCoverageMergeAndFull(t *testing.T) {
+	a, b := NewCoverage(), NewCoverage()
+	for i, c := range Cells() {
+		if i%2 == 0 {
+			a.Note(c.Op, c.Role, c.State)
+		} else {
+			b.Note(c.Op, c.Role, c.State)
+		}
+	}
+	if a.Full() || b.Full() {
+		t.Fatal("half-maps report Full")
+	}
+	a.Merge(b)
+	if !a.Full() {
+		t.Fatalf("merged map not full: %s", a)
+	}
+	if a.Mask()&^((1<<uint(NumCells))-1) != 0 {
+		t.Fatalf("mask has bits past NumCells: %#x", a.Mask())
+	}
+}
+
+// TestObserveTargetAndOtherClasses pins the derivation rules: the
+// target cell is the target color's decoded state and the other-role
+// cells are the state classes present among the remaining colors.
+func TestObserveTargetAndOtherClasses(t *testing.T) {
+	const colors = 4
+	// Dirty at color 1 (target), nothing else resident: target Dirty,
+	// other Empty only.
+	st := &PageState{CacheDirty: true}
+	st.Mapped.Set(1)
+	cv := NewCoverage()
+	cv.Observe(CPUWrite, st, 1, colors)
+	want := map[Cell]bool{
+		{CPUWrite, RoleTarget, Dirty}: true,
+		{CPUWrite, RoleOther, Empty}:  true,
+	}
+	checkCells(t, cv, want)
+
+	// Target color 2 Empty; color 0 Dirty, color 3 Stale, color 1 free:
+	// every other-role class except Present fires at once.
+	st = &PageState{CacheDirty: true}
+	st.Mapped.Set(0)
+	st.Stale.Set(3)
+	cv = NewCoverage()
+	cv.Observe(OpPurge, st, 2, colors)
+	want = map[Cell]bool{
+		{OpPurge, RoleTarget, Empty}: true,
+		{OpPurge, RoleOther, Dirty}:  true,
+		{OpPurge, RoleOther, Stale}:  true,
+		{OpPurge, RoleOther, Empty}:  true,
+	}
+	checkCells(t, cv, want)
+
+	// Clean page mapped at target 0 and other 2, all colors accounted
+	// for by mapping two of four: Present target, Present + Empty others.
+	st = &PageState{}
+	st.Mapped.Set(0)
+	st.Mapped.Set(2)
+	cv = NewCoverage()
+	cv.Observe(CPURead, st, 0, colors)
+	want = map[Cell]bool{
+		{CPURead, RoleTarget, Present}: true,
+		{CPURead, RoleOther, Present}:  true,
+		{CPURead, RoleOther, Empty}:    true,
+	}
+	checkCells(t, cv, want)
+}
+
+// TestObserveDMABothRoles: a DMA operation has no target color, so each
+// present state class is recorded under both roles, and a fully
+// occupied page records no Empty.
+func TestObserveDMABothRoles(t *testing.T) {
+	const colors = 2
+	st := &PageState{}
+	st.Mapped.Set(0)
+	st.Stale.Set(1)
+	cv := NewCoverage()
+	cv.Observe(DMAWrite, st, arch.NoCachePage, colors)
+	want := map[Cell]bool{
+		{DMAWrite, RoleTarget, Present}: true,
+		{DMAWrite, RoleOther, Present}:  true,
+		{DMAWrite, RoleTarget, Stale}:   true,
+		{DMAWrite, RoleOther, Stale}:    true,
+	}
+	checkCells(t, cv, want)
+}
+
+// TestNilCoverageSafe: a nil map discards observations without guards
+// at the call sites, like the nil trace recorder.
+func TestNilCoverageSafe(t *testing.T) {
+	var cv *Coverage
+	cv.Note(OpFlush, RoleTarget, Dirty)
+	cv.Observe(CPURead, &PageState{}, 0, 4)
+	cv.Merge(NewCoverage())
+	cv.Reset()
+	if cv.Covered() != 0 || cv.Full() || cv.Mask() != 0 || cv.Count(Cell{}) != 0 {
+		t.Fatal("nil coverage reports non-empty state")
+	}
+}
+
+func checkCells(t *testing.T, cv *Coverage, want map[Cell]bool) {
+	t.Helper()
+	for _, c := range Cells() {
+		got := cv.Count(c) > 0
+		if got != want[c] {
+			t.Errorf("cell %s: observed=%t want=%t", c, got, want[c])
+		}
+	}
+}

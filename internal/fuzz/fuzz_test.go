@@ -1,0 +1,141 @@
+package fuzz
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"vcache/internal/core"
+	"vcache/internal/replay"
+)
+
+// TestSeedProgramsExecute runs every handcrafted recipe under every
+// paper configuration: a seed that errors is a bug in the recipe, and
+// an oracle violation would mean the consistency model itself is
+// broken.
+func TestSeedProgramsExecute(t *testing.T) {
+	for _, pr := range SeedPrograms([]string{"A", "B", "C", "D", "E", "F"}) {
+		res, cov, err := runProgram(context.Background(), pr)
+		if err != nil {
+			t.Fatalf("%s: %v", pr.Origin.Workload, err)
+		}
+		if res.OracleViolations > 0 {
+			t.Errorf("%s: %d oracle violations", pr.Origin.Workload, res.OracleViolations)
+		}
+		if cov.Covered() == 0 {
+			t.Errorf("%s: exercised no coverage cells", pr.Origin.Workload)
+		}
+	}
+}
+
+// TestGenerateDeterministic pins the generator contract: the same
+// (config, seed, steps) triple always yields the identical program.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate("F", 7, 80)
+	b := Generate("F", 7, 80)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different programs")
+	}
+	c := Generate("F", 8, 80)
+	if reflect.DeepEqual(a.Ops, c.Ops) {
+		t.Fatal("different seeds produced identical programs")
+	}
+}
+
+// TestGeneratedProgramsExecute samples the generator across seeds and
+// configs; generated programs must execute without errors (the
+// executor's strictness is reserved for minimizer candidates).
+func TestGeneratedProgramsExecute(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	for seed := 0; seed < n; seed++ {
+		cfg := []string{"A", "F"}[seed%2]
+		pr := Generate(cfg, uint64(seed), 100)
+		if _, _, err := runProgram(context.Background(), pr); err != nil {
+			t.Errorf("config %s seed %d: %v", cfg, seed, err)
+		}
+	}
+}
+
+// TestMinimize checks the delta-debugging invariants on a synthetic
+// property: keeping a designated subset of ops. The result must be a
+// property-preserving subsequence, 1-minimal under the property.
+func TestMinimize(t *testing.T) {
+	pr := Generate("F", 42, 60)
+	// Property: the program still executes and still covers whatever
+	// CPU-write cells the original covered.
+	_, cov, err := runProgram(context.Background(), pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := func(cand *replay.Program) bool {
+		_, c2, err := runProgram(context.Background(), cand)
+		if err != nil {
+			return false
+		}
+		for _, c := range core.Cells() {
+			if c.Op == core.CPUWrite && cov.Count(c) > 0 && c2.Count(c) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	min := Minimize(context.Background(), pr, keep, 2000)
+	if len(min.Ops) == 0 || len(min.Ops) > len(pr.Ops) {
+		t.Fatalf("minimizer returned %d ops from %d", len(min.Ops), len(pr.Ops))
+	}
+	if !keep(min) {
+		t.Fatal("minimized program lost the property")
+	}
+	// Subsequence check.
+	j := 0
+	for _, op := range pr.Ops {
+		if j < len(min.Ops) && reflect.DeepEqual(op, min.Ops[j]) {
+			j++
+		}
+	}
+	if j != len(min.Ops) {
+		t.Fatal("minimized program is not a subsequence of the original")
+	}
+	t.Logf("minimized %d -> %d ops", len(pr.Ops), len(min.Ops))
+}
+
+// TestCampaign is the package's self-test: a default-budget campaign
+// must reach full Table 2 coverage, and every finding's minimized
+// witness must record to a replayable trace that replays cleanly.
+func TestCampaign(t *testing.T) {
+	opts := Options{Seed: 1, Log: t.Logf}
+	if testing.Short() {
+		opts.Budget = 40
+	}
+	rep, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("campaign: tried %d, skipped %d, findings %d, %s",
+		rep.Tried, rep.Skipped, len(rep.Findings), rep.Coverage)
+	if !testing.Short() && !rep.Coverage.Full() {
+		t.Errorf("campaign did not reach full coverage: %s", rep.Coverage)
+	}
+	for _, f := range rep.Findings {
+		if f.Violating {
+			t.Errorf("finding %s: oracle violation (consistency bug)", f.Program.Origin.Workload)
+		}
+	}
+	// Every minimized witness must export and replay.
+	max := 3
+	for i, f := range rep.Findings {
+		if i >= max {
+			break
+		}
+		ex, err := Witness(context.Background(), f.Program)
+		if err != nil {
+			t.Fatalf("witness %s: %v", f.Program.Origin.Workload, err)
+		}
+		if _, _, err := replay.Replay(context.Background(), ex); err != nil {
+			t.Errorf("replay of witness %s: %v", f.Program.Origin.Workload, err)
+		}
+	}
+}

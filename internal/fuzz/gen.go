@@ -1,0 +1,276 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"vcache/internal/kernel"
+	"vcache/internal/replay"
+	"vcache/internal/sim"
+)
+
+// The workload-program generator: a seeded, fully deterministic random
+// walk over the replay op grammar. Unlike workload.Stress — a Go
+// function whose decisions live in code — a generated program *is* its
+// op list, so anything it finds is already a replayable artifact and
+// the minimizer can shrink it without re-deriving decisions.
+//
+// The generator tracks just enough state (live processes, their heap
+// and received pages, created files and their sizes, file mappings) to
+// emit programs that execute without errors; the executor's strictness
+// then guards the minimizer, not the generator.
+
+// genState tracks the resources a partially generated program owns.
+type genState struct {
+	rng    *sim.Rand
+	notes  []string
+	nextID int // next recorded pid token
+
+	procs []*genProc
+	files []*genFile
+	objs  int // mapfile object ids handed out
+	syms  int // symbolic vpn tokens handed out
+}
+
+type genProc struct {
+	pid     int
+	hasText bool
+	// cow marks a process that took part in a fork; its heap pages may
+	// be privately copied, which SharePage rejects, so the generator
+	// never shares from it.
+	cow bool
+	// recv are symbolic vpns of pages received via send or sharep
+	// (writable).
+	recv []uint64
+	// maps are read-only mapped-file pages (symbolic vpns).
+	maps []uint64
+}
+
+type genFile struct {
+	name  string
+	pages uint64 // highest known-written page count
+	objID int    // mapfile object id, 0 if never mapped
+}
+
+func (g *genState) emit(format string, args ...any) {
+	g.notes = append(g.notes, fmt.Sprintf(format, args...))
+}
+
+func (g *genState) pick() *genProc { return g.procs[g.rng.Intn(len(g.procs))] }
+
+// sym returns a fresh symbolic vpn token. Tokens live far above any
+// address the kernel assigns, so an unbound token can never collide
+// with a real page through the executor's identity fallback.
+func (g *genState) sym() uint64 {
+	g.syms++
+	return 0xF000000 + uint64(g.syms)
+}
+
+func (g *genState) spawn(img *genFile) {
+	g.nextID++
+	p := &genProc{pid: g.nextID, hasText: img != nil}
+	name := "-"
+	text := uint64(0)
+	if img != nil {
+		name = img.name
+		text = img.pages
+	}
+	g.emit("spawn pid=%d img=%s text=%d heap=16", p.pid, name, text)
+	g.procs = append(g.procs, p)
+}
+
+// heapVPN names a process heap page by its fixed-layout address.
+func heapVPN(page uint64) uint64 { return uint64(kernel.HeapVPN(page)) }
+
+// Generate builds a deterministic random program of about `steps` ops
+// for the given configuration label. The same (config, seed, steps)
+// always yields the identical program.
+func Generate(config string, seed uint64, steps int) *replay.Program {
+	g := &genState{rng: sim.NewRand(seed)}
+
+	// A text image other processes can spawn against.
+	g.spawn(nil)
+	img := &genFile{name: "fz/img", pages: 4}
+	g.files = append(g.files, img)
+	g.emit("create pid=%d file=%s", g.procs[0].pid, img.name)
+	g.emit("writec file=%s pages=%d", img.name, img.pages)
+	g.emit("sync")
+	g.spawn(img)
+
+	for i := 0; i < steps; i++ {
+		g.step()
+	}
+	for _, p := range g.procs {
+		g.emit("exit pid=%d", p.pid)
+	}
+	pr, err := replay.FromNotes(fmt.Sprintf("fuzz-%s-%d", config, seed), config, g.notes)
+	if err != nil {
+		// The generator emitting an unparseable note is a bug in this
+		// file, not an input-dependent condition.
+		panic(fmt.Sprintf("fuzz: generated invalid note: %v", err))
+	}
+	return pr
+}
+
+func (g *genState) step() {
+	rng := g.rng
+	switch op := rng.Intn(100); {
+	case op < 16: // heap write
+		g.emit("touch pid=%d page=%d words=%d", g.pick().pid, rng.Intn(16), 16+16*rng.Intn(4))
+	case op < 28: // heap read
+		g.emit("readh pid=%d page=%d words=%d", g.pick().pid, rng.Intn(16), 16+16*rng.Intn(4))
+	case op < 36: // explicit cache maintenance on a heap or received page
+		p := g.pick()
+		verb := "flushp"
+		if rng.Bool(0.5) {
+			verb = "purgep"
+		}
+		if len(p.recv) > 0 && rng.Bool(0.4) {
+			g.emit("%s pid=%d vpn=%#x", verb, p.pid, p.recv[rng.Intn(len(p.recv))])
+		} else if len(p.maps) > 0 && rng.Bool(0.3) {
+			g.emit("%s pid=%d vpn=%#x", verb, p.pid, p.maps[rng.Intn(len(p.maps))])
+		} else {
+			g.emit("%s pid=%d vpn=%#x", verb, p.pid, heapVPN(uint64(rng.Intn(16))))
+		}
+	case op < 44: // create + write a file
+		p := g.pick()
+		f := &genFile{name: fmt.Sprintf("fz/f%04d", len(g.files)), pages: uint64(1 + rng.Intn(3))}
+		g.files = append(g.files, f)
+		g.emit("create pid=%d file=%s", p.pid, f.name)
+		if rng.Bool(0.5) {
+			g.emit("writec file=%s pages=%d", f.name, f.pages)
+		} else {
+			g.emit("touch pid=%d page=1 words=64", p.pid)
+			for pg := uint64(0); pg < f.pages; pg++ {
+				g.emit("writef pid=%d file=%s page=%d heap=1", p.pid, f.name, pg)
+			}
+		}
+	case op < 54: // read a file page (buffered or direct-DMA)
+		if len(g.files) == 0 {
+			return
+		}
+		f := g.files[rng.Intn(len(g.files))]
+		p := g.pick()
+		pg := uint64(rng.Intn(int(f.pages)))
+		heap := rng.Intn(8)
+		if rng.Bool(0.35) {
+			g.emit("readfd pid=%d file=%s page=%d heap=%d", p.pid, f.name, pg, heap)
+			if rng.Bool(0.5) { // repeat: DMA-write into an already-stale page
+				g.emit("readfd pid=%d file=%s page=%d heap=%d", p.pid, f.name, pg, heap)
+			}
+		} else {
+			g.emit("readf pid=%d file=%s page=%d heap=%d", p.pid, f.name, pg, heap)
+		}
+	case op < 60: // overwrite a file page through the buffer cache
+		if len(g.files) == 0 {
+			return
+		}
+		f := g.files[rng.Intn(len(g.files))]
+		p := g.pick()
+		g.emit("touch pid=%d page=2 words=32", p.pid)
+		g.emit("writef pid=%d file=%s page=%d heap=2", p.pid, f.name, uint64(rng.Intn(int(f.pages))))
+	case op < 66: // sync write-behind
+		g.emit("sync")
+	case op < 76: // IPC page transfer or read-write share
+		if len(g.procs) < 2 {
+			return
+		}
+		from, to := g.pick(), g.pick()
+		if from == to {
+			return
+		}
+		pg := uint64(rng.Intn(16))
+		g.emit("touch pid=%d page=%d words=32", from.pid, pg)
+		if rng.Bool(0.35) && !from.cow {
+			// Share: both sides keep the page, so the sender can keep
+			// dirtying it under the receiver's maintenance.
+			s := g.sym()
+			g.emit("sharep from=%d page=%d to=%d vpn=%#x", from.pid, pg, to.pid, s)
+			to.recv = append(to.recv, s)
+			g.emit("readp pid=%d vpn=%#x words=16", to.pid, s)
+			g.emit("touch pid=%d page=%d words=32", from.pid, pg)
+			if rng.Bool(0.5) {
+				verb := "flushp"
+				if rng.Bool(0.5) {
+					verb = "purgep"
+				}
+				g.emit("%s pid=%d vpn=%#x", verb, to.pid, s)
+			}
+			g.emit("readp pid=%d vpn=%#x words=16", to.pid, s)
+			return
+		}
+		if rng.Bool(0.5) {
+			g.emit("flushp pid=%d vpn=%#x", from.pid, heapVPN(pg))
+		}
+		s := g.sym()
+		g.emit("send from=%d page=%d to=%d vpn=%#x", from.pid, pg, to.pid, s)
+		to.recv = append(to.recv, s)
+		if rng.Bool(0.5) {
+			g.emit("purgep pid=%d vpn=%#x", to.pid, s)
+		}
+		g.emit("readp pid=%d vpn=%#x words=16", to.pid, s)
+		if rng.Bool(0.5) {
+			g.emit("writep pid=%d vpn=%#x words=8", to.pid, s)
+		}
+	case op < 82: // map a file (sharing the object across processes)
+		if len(g.files) == 0 {
+			return
+		}
+		f := g.files[rng.Intn(len(g.files))]
+		if f.pages == 0 {
+			return
+		}
+		p := g.pick()
+		if f.objID == 0 {
+			g.objs++
+			f.objID = g.objs
+		}
+		s := g.sym()
+		g.emit("mapfile pid=%d file=%s obj=%d pages=%d vpn=%#x", p.pid, f.name, f.objID, f.pages, s)
+		for pg := uint64(0); pg < f.pages; pg++ {
+			p.maps = append(p.maps, s+pg)
+		}
+		g.emit("readp pid=%d vpn=%#x words=16", p.pid, s+uint64(rng.Intn(int(f.pages))))
+	case op < 86: // re-read a received or mapped page
+		p := g.pick()
+		if len(p.recv) > 0 {
+			g.emit("readp pid=%d vpn=%#x words=16", p.pid, p.recv[rng.Intn(len(p.recv))])
+		} else if len(p.maps) > 0 {
+			g.emit("readp pid=%d vpn=%#x words=16", p.pid, p.maps[rng.Intn(len(p.maps))])
+		}
+	case op < 89: // server transaction
+		g.emit("syscall pid=%d", g.pick().pid)
+	case op < 92: // run text
+		p := g.pick()
+		if !p.hasText {
+			return
+		}
+		g.emit("runtext pid=%d words=8", p.pid)
+	case op < 95: // fork
+		if len(g.procs) >= 6 {
+			return
+		}
+		parent := g.pick()
+		g.nextID++
+		parent.cow = true
+		child := &genProc{pid: g.nextID, hasText: parent.hasText, cow: true}
+		g.emit("fork pid=%d parent=%d", child.pid, parent.pid)
+		g.procs = append(g.procs, child)
+		g.emit("touch pid=%d page=%d words=16", child.pid, rng.Intn(4))
+	case op < 97: // exit (frames recycle through the free list)
+		if len(g.procs) <= 2 {
+			return
+		}
+		idx := rng.Intn(len(g.procs))
+		g.emit("exit pid=%d", g.procs[idx].pid)
+		g.procs = append(g.procs[:idx], g.procs[idx+1:]...)
+	default: // spawn (sometimes with the shared text image)
+		if len(g.procs) >= 6 {
+			return
+		}
+		if rng.Bool(0.5) {
+			g.spawn(g.files[0])
+		} else {
+			g.spawn(nil)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package fuzz
+
+import (
+	"context"
+
+	"vcache/internal/replay"
+)
+
+// The trace minimizer: a greedy delta-debugging pass that shrinks a
+// program while a caller-supplied property keeps holding. The property
+// runs the candidate on a fresh system, so every reduction the
+// minimizer accepts is by construction still executable — the
+// executor's strict translation tables reject any candidate whose
+// surviving ops reference a resource a removed op created.
+//
+// Invariants: the result is a subsequence of the input, the property
+// holds on the result, and the result is 1-minimal — removing any
+// single remaining op either breaks execution or loses the property.
+
+// Minimize shrinks pr to a 1-minimal subsequence for which keep still
+// returns true. keep must hold for pr itself (the caller established
+// the property by running pr). maxRuns caps the number of candidate
+// executions; when exhausted, the best program found so far is
+// returned (still property-preserving, possibly not yet 1-minimal).
+func Minimize(ctx context.Context, pr *replay.Program, keep func(*replay.Program) bool, maxRuns int) *replay.Program {
+	ops := pr.Ops
+	runs := 0
+	try := func(cand []replay.Op) bool {
+		if len(cand) == 0 || runs >= maxRuns || ctx.Err() != nil {
+			return false
+		}
+		runs++
+		p2 := &replay.Program{Origin: pr.Origin, Ops: cand}
+		return keep(p2)
+	}
+	for chunk := (len(ops) + 1) / 2; chunk >= 1; {
+		removedAny := false
+		for i := 0; i < len(ops); {
+			end := i + chunk
+			if end > len(ops) {
+				end = len(ops)
+			}
+			cand := make([]replay.Op, 0, len(ops)-(end-i))
+			cand = append(cand, ops[:i]...)
+			cand = append(cand, ops[end:]...)
+			if try(cand) {
+				ops = cand
+				removedAny = true
+				// Do not advance: the next chunk slid into position i.
+			} else {
+				i = end
+			}
+		}
+		if chunk == 1 {
+			if !removedAny {
+				break // 1-minimal
+			}
+			// A removal at chunk 1 can unlock earlier removals; sweep
+			// again until a full pass removes nothing.
+			continue
+		}
+		chunk = (chunk + 1) / 2
+	}
+	return &replay.Program{Origin: pr.Origin, Ops: ops}
+}

@@ -116,6 +116,16 @@ type Spec struct {
 	// TraceN, when positive, attaches a ring-buffer recorder keeping
 	// the last TraceN consistency events of the timed phase.
 	TraceN int
+	// RecordOps additionally routes the kernel op log into the trace
+	// recorder (requires TraceN > 0), interleaving one "op" event per
+	// top-level kernel operation with the consistency events. The
+	// resulting export is replayable (see internal/replay); its Origin
+	// block names this spec so a replay can rebuild the same system.
+	RecordOps bool
+	// Coverage, when non-nil, accumulates the Table 2 state×transition
+	// cells the run exercises (see core.Coverage). Attached per run,
+	// after any snapshot fork, like the trace recorder.
+	Coverage *core.Coverage
 	// DisableSnapshots forces a cold boot even when the executor has a
 	// snapshot pool — the reference path the warm-boot identity tests
 	// compare against.
@@ -232,6 +242,21 @@ func measure(s Spec, k *kernel.Kernel, ph *Phases) (Result, *trace.Recorder, err
 		rec = trace.NewRecorder(s.TraceN)
 		k.PM.SetTracer(rec)
 		k.M.SetTracer(rec)
+		if s.RecordOps {
+			k.SetOpLog(rec)
+			kc := s.kernelConfig()
+			rec.SetOrigin(&trace.Origin{
+				Workload: s.Workload.Name,
+				Config:   s.Config.Label,
+				Scale:    s.Scale.Name,
+				Factor:   s.Scale.Factor,
+				CPUs:     kc.Machine.CPUs,
+				Frames:   kc.Machine.Frames,
+			})
+		}
+	}
+	if s.Coverage != nil {
+		k.PM.SetCoverage(s.Coverage)
 	}
 	start := time.Now()
 	if s.Workload.Run != nil {

@@ -20,6 +20,7 @@ import (
 	"vcache/internal/pmap"
 	"vcache/internal/policy"
 	"vcache/internal/sim"
+	"vcache/internal/trace"
 	"vcache/internal/unixserver"
 	"vcache/internal/vm"
 )
@@ -50,6 +51,12 @@ type Process struct {
 func (p *Process) HeapVA(geom arch.Geometry, page, word uint64) arch.VA {
 	return geom.PageBase(heapBaseVPN+arch.VPN(page)) + arch.VA(word*arch.WordSize)
 }
+
+// HeapVPN returns the virtual page number of heap page `page` — the
+// fixed process layout every address space shares, which replay
+// programs rely on when naming heap addresses directly (flushp/purgep
+// of a page that was never rebound).
+func HeapVPN(page uint64) arch.VPN { return heapBaseVPN + arch.VPN(page) }
 
 // Config sizes the simulated system.
 type Config struct {
@@ -94,6 +101,15 @@ type Kernel struct {
 	// process-operation boundary; a non-nil return aborts the current
 	// operation with that error. See SetInterrupt.
 	interrupt func() error
+
+	// oplog, when attached, receives one EvOp event per successful
+	// top-level kernel operation (see oplog.go); opDepth guards against
+	// recording nested operations, and objIDs names vm objects across
+	// MapFile calls. All three are per-run state: Clone drops them, and
+	// the harness attaches the log after any snapshot fork.
+	oplog   *trace.Recorder
+	opDepth int
+	objIDs  map[*vm.Object]int
 }
 
 // New boots a system under the given configuration.
@@ -159,7 +175,10 @@ func (k *Kernel) interrupted() error {
 
 // Compute charges workload "think time" cycles.
 func (k *Kernel) Compute(cycles uint64) {
+	k.opEnter()
+	defer k.opExit()
 	k.M.Clock.Charge(sim.CatCompute, cycles)
+	k.oplogf("compute cycles=%d", cycles)
 }
 
 // nextValue produces a distinct value for a store, so the oracle can
@@ -173,6 +192,8 @@ func (k *Kernel) nextValue() uint64 {
 // image: a fresh text object backed by the file system pages it in on
 // demand, each page-in performing the data-to-instruction-space copy.
 func (k *Kernel) Spawn(textFile *fs.File, textPages, heapPages uint64) (*Process, error) {
+	k.opEnter()
+	defer k.opExit()
 	if err := k.interrupted(); err != nil {
 		return nil, err
 	}
@@ -205,6 +226,11 @@ func (k *Kernel) Spawn(textFile *fs.File, textPages, heapPages uint64) (*Process
 		return nil, err
 	}
 	k.procs[p.ID] = p
+	img := "-"
+	if textFile != nil {
+		img = textFile.Name
+	}
+	k.oplogf("spawn pid=%d img=%s text=%d heap=%d", p.ID, img, textPages, heapPages)
 	return p, nil
 }
 
@@ -218,6 +244,8 @@ func (k *Kernel) Spawn(textFile *fs.File, textPages, heapPages uint64) (*Process
 // checks every transfer); only the Unix-visible inheritance of
 // COW-modified pages across second-generation forks is simplified.
 func (k *Kernel) Fork(parent *Process) (*Process, error) {
+	k.opEnter()
+	defer k.opExit()
 	if err := k.interrupted(); err != nil {
 		return nil, err
 	}
@@ -248,16 +276,20 @@ func (k *Kernel) Fork(parent *Process) (*Process, error) {
 		return nil, err
 	}
 	k.procs[child.ID] = child
+	k.oplogf("fork pid=%d parent=%d", child.ID, parent.ID)
 	return child, nil
 }
 
 // Exit tears a process down, returning its pages (lazily or eagerly per
 // policy) to the free list.
 func (k *Kernel) Exit(p *Process) {
+	k.opEnter()
+	defer k.opExit()
 	k.M.SetCurrentCPU(p.CPU)
 	k.Server.Detach(p.Space)
 	k.VM.DestroySpace(p.Space)
 	delete(k.procs, p.ID)
+	k.oplogf("exit pid=%d", p.ID)
 }
 
 // textPager pages text in from the file system's buffer cache.

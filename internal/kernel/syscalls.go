@@ -24,36 +24,62 @@ const (
 // Syscall performs just the server transaction of a system call (run
 // from the calling process' CPU; the server side runs on the server's).
 func (k *Kernel) Syscall(p *Process) error {
+	k.opEnter()
+	defer k.opExit()
 	if err := k.interrupted(); err != nil {
 		return err
 	}
 	k.M.SetCurrentCPU(p.CPU)
 	defer k.M.SetCurrentCPU(p.CPU) // kernel work after the transaction runs here
-	return k.Server.Transaction(p.Space, syscallReqWords, syscallRespWords)
+	if err := k.Server.Transaction(p.Space, syscallReqWords, syscallRespWords); err != nil {
+		return err
+	}
+	k.oplogf("syscall pid=%d", p.ID)
+	return nil
 }
 
 // CreateFile creates a file on behalf of a process.
 func (k *Kernel) CreateFile(p *Process, name string) (*fs.File, error) {
+	k.opEnter()
+	defer k.opExit()
 	if err := k.Syscall(p); err != nil {
 		return nil, err
 	}
-	return k.FS.Create(name)
+	f, err := k.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	k.oplogf("create pid=%d file=%s", p.ID, name)
+	return f, nil
 }
 
 // OpenFile opens an existing file on behalf of a process.
 func (k *Kernel) OpenFile(p *Process, name string) (*fs.File, error) {
+	k.opEnter()
+	defer k.opExit()
 	if err := k.Syscall(p); err != nil {
 		return nil, err
 	}
-	return k.FS.Open(name)
+	f, err := k.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	k.oplogf("open pid=%d file=%s", p.ID, name)
+	return f, nil
 }
 
 // RemoveFile unlinks a file on behalf of a process.
 func (k *Kernel) RemoveFile(p *Process, name string) error {
+	k.opEnter()
+	defer k.opExit()
 	if err := k.Syscall(p); err != nil {
 		return err
 	}
-	return k.FS.Remove(name)
+	if err := k.FS.Remove(name); err != nil {
+		return err
+	}
+	k.oplogf("remove pid=%d file=%s", p.ID, name)
+	return nil
 }
 
 // ReadFilePage reads page `page` of file f into the process heap page
@@ -62,6 +88,8 @@ func (k *Kernel) RemoveFile(p *Process, name string) error {
 // buffer's kernel mapping into the user page through the user's own
 // mapping.
 func (k *Kernel) ReadFilePage(p *Process, f *fs.File, page, heapPage uint64) error {
+	k.opEnter()
+	defer k.opExit()
 	if err := k.Syscall(p); err != nil {
 		return err
 	}
@@ -79,6 +107,7 @@ func (k *Kernel) ReadFilePage(p *Process, f *fs.File, page, heapPage uint64) err
 			return err
 		}
 	}
+	k.oplogf("readf pid=%d file=%s page=%d heap=%d", p.ID, f.Name, page, heapPage)
 	return nil
 }
 
@@ -86,6 +115,8 @@ func (k *Kernel) ReadFilePage(p *Process, f *fs.File, page, heapPage uint64) err
 // of file f — the write(2) path: the data lands in a buffer and reaches
 // the disk later via write-behind.
 func (k *Kernel) WriteFilePage(p *Process, f *fs.File, page, heapPage uint64) error {
+	k.opEnter()
+	defer k.opExit()
 	if err := k.Syscall(p); err != nil {
 		return err
 	}
@@ -103,12 +134,15 @@ func (k *Kernel) WriteFilePage(p *Process, f *fs.File, page, heapPage uint64) er
 			return err
 		}
 	}
+	k.oplogf("writef pid=%d file=%s page=%d heap=%d", p.ID, f.Name, page, heapPage)
 	return nil
 }
 
 // TouchHeap writes `stride`-spaced words of a heap page (faulting it in,
 // zero-filled, on first touch).
 func (k *Kernel) TouchHeap(p *Process, page uint64, words int) error {
+	k.opEnter()
+	defer k.opExit()
 	if err := k.interrupted(); err != nil {
 		return err
 	}
@@ -129,11 +163,14 @@ func (k *Kernel) TouchHeap(p *Process, page uint64, words int) error {
 			return err
 		}
 	}
+	k.oplogf("touch pid=%d page=%d words=%d", p.ID, page, words)
 	return nil
 }
 
 // ReadHeap reads `words` evenly spaced words of a heap page.
 func (k *Kernel) ReadHeap(p *Process, page uint64, words int) error {
+	k.opEnter()
+	defer k.opExit()
 	if err := k.interrupted(); err != nil {
 		return err
 	}
@@ -151,6 +188,7 @@ func (k *Kernel) ReadHeap(p *Process, page uint64, words int) error {
 			return err
 		}
 	}
+	k.oplogf("readh pid=%d page=%d words=%d", p.ID, page, words)
 	return nil
 }
 
@@ -158,6 +196,8 @@ func (k *Kernel) ReadHeap(p *Process, page uint64, words int) error {
 // instructions from each text page, faulting the pages in (data-to-
 // instruction-space copies) on first touch.
 func (k *Kernel) RunText(p *Process, words int) error {
+	k.opEnter()
+	defer k.opExit()
 	if err := k.interrupted(); err != nil {
 		return err
 	}
@@ -182,6 +222,7 @@ func (k *Kernel) RunText(p *Process, words int) error {
 			}
 		}
 	}
+	k.oplogf("runtext pid=%d words=%d", p.ID, words)
 	return nil
 }
 
@@ -190,16 +231,51 @@ func (k *Kernel) RunText(p *Process, words int) error {
 // with the sender's under the align-pages policy). It returns the
 // receiver-side VPN.
 func (k *Kernel) SendHeapPage(from *Process, page uint64, to *Process) (arch.VPN, error) {
+	k.opEnter()
+	defer k.opExit()
 	if err := k.Syscall(from); err != nil {
 		return 0, err
 	}
-	return k.VM.TransferPage(from.Space, heapBaseVPN+arch.VPN(page), to.Space)
+	vpn, err := k.VM.TransferPage(from.Space, heapBaseVPN+arch.VPN(page), to.Space)
+	if err != nil {
+		return 0, err
+	}
+	k.oplogf("send from=%d page=%d to=%d vpn=%#x", from.ID, page, to.ID, uint64(vpn))
+	return vpn, nil
+}
+
+// SharePage maps the frame backing `page` of from's heap into to's
+// address space read-write, leaving the sender's mapping intact —
+// vm_remap-style sharing. Unlike SendHeapPage both sides keep the page,
+// so under unaligned placement every write on one side costs the other
+// a consistency fault. It returns the receiver-side VPN.
+func (k *Kernel) SharePage(from *Process, page uint64, to *Process) (arch.VPN, error) {
+	k.opEnter()
+	defer k.opExit()
+	if err := k.Syscall(from); err != nil {
+		return 0, err
+	}
+	srcVPN := heapBaseVPN + arch.VPN(page)
+	if _, ok := k.PM.Translate(from.Space.ID, srcVPN); !ok {
+		// Fault the page resident so both sides share established data.
+		if _, err := k.M.Read(from.Space.ID, from.HeapVA(k.Geometry(), page, 0)); err != nil {
+			return 0, err
+		}
+	}
+	vpn, err := k.VM.SharePage(from.Space, srcVPN, to.Space)
+	if err != nil {
+		return 0, err
+	}
+	k.oplogf("sharep from=%d page=%d to=%d vpn=%#x", from.ID, page, to.ID, uint64(vpn))
+	return vpn, nil
 }
 
 // ReadPage reads `words` evenly spaced words from an arbitrary page of a
 // process (used after IPC transfers, where the receiver address was
 // kernel-chosen).
 func (k *Kernel) ReadPage(p *Process, vpn arch.VPN, words int) error {
+	k.opEnter()
+	defer k.opExit()
 	if err := k.interrupted(); err != nil {
 		return err
 	}
@@ -219,12 +295,15 @@ func (k *Kernel) ReadPage(p *Process, vpn arch.VPN, words int) error {
 			return err
 		}
 	}
+	k.oplogf("readp pid=%d vpn=%#x words=%d", p.ID, uint64(vpn), words)
 	return nil
 }
 
 // WritePage writes `words` evenly spaced words to an arbitrary mapped
 // page of a process.
 func (k *Kernel) WritePage(p *Process, vpn arch.VPN, words int) error {
+	k.opEnter()
+	defer k.opExit()
 	if err := k.interrupted(); err != nil {
 		return err
 	}
@@ -244,6 +323,7 @@ func (k *Kernel) WritePage(p *Process, vpn arch.VPN, words int) error {
 			return err
 		}
 	}
+	k.oplogf("writep pid=%d vpn=%#x words=%d", p.ID, uint64(vpn), words)
 	return nil
 }
 
@@ -251,6 +331,8 @@ func (k *Kernel) WritePage(p *Process, vpn arch.VPN, words int) error {
 // directly in the buffer cache (used to build workload input files, e.g.
 // source trees, before timing begins).
 func (k *Kernel) WriteFileContent(f *fs.File, pages uint64) error {
+	k.opEnter()
+	defer k.opExit()
 	words := k.Geometry().WordsPerPage()
 	for pg := uint64(0); pg < pages; pg++ {
 		if err := k.interrupted(); err != nil {
@@ -266,6 +348,7 @@ func (k *Kernel) WriteFileContent(f *fs.File, pages uint64) error {
 			}
 		}
 	}
+	k.oplogf("writec file=%s pages=%d", f.Name, pages)
 	return nil
 }
 
@@ -277,6 +360,8 @@ func (k *Kernel) WriteFileContent(f *fs.File, pages uint64) error {
 // access to the page takes a consistency fault to purge the now-stale
 // cached copy.
 func (k *Kernel) ReadFilePageDirect(p *Process, f *fs.File, page, heapPage uint64) error {
+	k.opEnter()
+	defer k.opExit()
 	if err := k.Syscall(p); err != nil {
 		return err
 	}
@@ -291,7 +376,11 @@ func (k *Kernel) ReadFilePageDirect(p *Process, f *fs.File, page, heapPage uint6
 	if !ok {
 		return fmt.Errorf("kernel: heap page %d not resident after fault", heapPage)
 	}
-	return k.FS.ReadBlockInto(f, page, frame)
+	if err := k.FS.ReadBlockInto(f, page, frame); err != nil {
+		return err
+	}
+	k.oplogf("readfd pid=%d file=%s page=%d heap=%d", p.ID, f.Name, page, heapPage)
+	return nil
 }
 
 // MapFile maps `pages` pages of file f read-only into the process at a
@@ -302,6 +391,8 @@ func (k *Kernel) ReadFilePageDirect(p *Process, f *fs.File, page, heapPage uint6
 // addresses do not align, exercises the read-only alias machinery.
 // It returns the first mapped virtual page.
 func (k *Kernel) MapFile(p *Process, f *fs.File, obj *vm.Object, pages uint64) (arch.VPN, *vm.Object, error) {
+	k.opEnter()
+	defer k.opExit()
 	if err := k.Syscall(p); err != nil {
 		return 0, nil, err
 	}
@@ -315,5 +406,6 @@ func (k *Kernel) MapFile(p *Process, f *fs.File, obj *vm.Object, pages uint64) (
 	if err != nil {
 		return 0, nil, err
 	}
+	k.oplogf("mapfile pid=%d file=%s obj=%d pages=%d vpn=%#x", p.ID, f.Name, k.objID(obj), pages, uint64(reg.Start))
 	return reg.Start, obj, nil
 }

@@ -48,6 +48,7 @@ func (p *Pmap) Access(space arch.SpaceID, vpn arch.VPN, acc machine.Access, newM
 	}
 
 	c := p.dcolor(vpn)
+	p.observe(op, f, c)
 	p.accessIsNew = newMapping
 	p.ctl.CacheControl(f, &pp.state, c, op, core.Options{NeedData: true})
 	p.accessIsNew = false
@@ -87,6 +88,7 @@ func (p *Pmap) ModifyFault(space arch.SpaceID, vpn arch.VPN) error {
 	f := e.pfn
 	pp := &p.phys[f]
 	c := p.dcolor(vpn)
+	p.observe(core.CPUWrite, f, c)
 	if !p.ctl.NoteModified(&pp.state, c) {
 		p.accessIsNew = false
 		p.ctl.CacheControl(f, &pp.state, c, core.CPUWrite, core.Options{NeedData: true})
@@ -107,6 +109,7 @@ func (p *Pmap) accessExecute(space arch.SpaceID, vpn arch.VPN, e *pte) error {
 	f := e.pfn
 	pp := &p.phys[f]
 	if !pp.uncached {
+		p.observe(core.DMARead, f, arch.NoCachePage)
 		p.accessIsNew = false
 		p.ctl.CacheControl(f, &pp.state, arch.NoCachePage, core.DMARead, core.Options{NeedData: true})
 		ic := p.icolor(vpn)

@@ -23,6 +23,7 @@ func (p *Pmap) PrepareDMAWrite(f arch.PFN) {
 	if pp.uncached {
 		return
 	}
+	p.observe(core.DMAWrite, f, arch.NoCachePage)
 	p.accessIsNew = false
 	p.ctl.CacheControl(f, &pp.state, arch.NoCachePage, core.DMAWrite, core.Options{NeedData: false})
 	p.noteFrameWritten(pp)
@@ -39,6 +40,7 @@ func (p *Pmap) PrepareDMARead(f arch.PFN) {
 	if pp.uncached {
 		return
 	}
+	p.observe(core.DMARead, f, arch.NoCachePage)
 	p.accessIsNew = false
 	p.ctl.CacheControl(f, &pp.state, arch.NoCachePage, core.DMARead, core.Options{NeedData: true})
 }

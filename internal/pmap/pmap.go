@@ -142,6 +142,7 @@ type Pmap struct {
 
 	stats  Stats
 	tracer *trace.Recorder // nil: tracing off
+	cov    *core.Coverage  // nil: coverage collection off
 
 	// accessIsNew marks the current Access as resolving a brand-new
 	// mapping, for purge-cause attribution (Section 5.1: ~80% of
@@ -177,6 +178,21 @@ func (p *Pmap) SetTracer(r *trace.Recorder) { p.tracer = r }
 
 // Tracer returns the attached recorder, if any.
 func (p *Pmap) Tracer() *trace.Recorder { return p.tracer }
+
+// SetCoverage attaches a Table 2 consistency-state coverage map (nil
+// detaches). Like the tracer it is per-run state: Clone does not carry
+// it, and the harness attaches it after any snapshot fork.
+func (p *Pmap) SetCoverage(cv *core.Coverage) { p.cov = cv }
+
+// observe records the Table 2 cells one consistency-algorithm
+// invocation exercises, from frame f's pre-transition state. It must
+// run before the transition is applied.
+func (p *Pmap) observe(op core.Operation, f arch.PFN, c arch.CachePage) {
+	if p.cov == nil {
+		return
+	}
+	p.cov.Observe(op, &p.phys[f].state, c, p.dColors)
+}
 
 // emit records a trace event, stamping the current cycle count.
 func (p *Pmap) emit(kind trace.Kind, f arch.PFN, c arch.CachePage, note string) {

@@ -11,10 +11,10 @@ import (
 // walker. Page tables, the physical page database, the window pool, the
 // preparation cursor, and the frame allocator are all copied deeply —
 // the allocator's free-list order in particular, so a fork recycles
-// frames in exactly the sequence the original would have. The tracer is
-// deliberately not carried over: trace capture is attached per run,
-// after forking, so no fork's events can leak into the shared snapshot
-// or a sibling.
+// frames in exactly the sequence the original would have. The tracer
+// and coverage map are deliberately not carried over: both are attached
+// per run, after forking, so no fork's events can leak into the shared
+// snapshot or a sibling.
 func (p *Pmap) Clone(m2 *machine.Machine) *Pmap {
 	p2 := &Pmap{
 		geom:        p.geom,

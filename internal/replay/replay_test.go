@@ -1,0 +1,200 @@
+package replay
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"vcache/internal/harness"
+	"vcache/internal/policy"
+	"vcache/internal/trace"
+	"vcache/internal/workload"
+)
+
+func TestParseNoteRoundTrip(t *testing.T) {
+	notes := []string{
+		"spawn pid=3 img=bin/cc text=4 heap=16",
+		"spawn pid=1 img=- text=0 heap=16",
+		"fork pid=5 parent=3",
+		"exit pid=5",
+		"syscall pid=1",
+		"create pid=1 file=src/c001.c",
+		"open pid=1 file=bin/ld",
+		"remove pid=1 file=tmp/x",
+		"readf pid=2 file=f00001 page=1 heap=3",
+		"writef pid=2 file=f00001 page=0 heap=1",
+		"readfd pid=2 file=f00001 page=1 heap=2",
+		"touch pid=1 page=3 words=64",
+		"readh pid=1 page=0 words=32",
+		"runtext pid=3 words=8",
+		"send from=1 page=4 to=2 vpn=0x10004",
+		"sharep from=1 page=5 to=2 vpn=0x10005",
+		"readp pid=2 vpn=0x10004 words=32",
+		"writep pid=2 vpn=0x10004 words=16",
+		"mapfile pid=1 file=f00002 obj=2 pages=2 vpn=0x40000",
+		"writec file=bin/stress pages=4",
+		"compute cycles=1200",
+		"sync",
+		"flushp pid=1 vpn=0x10002",
+		"purgep pid=2 vpn=0x10002",
+	}
+	for _, n := range notes {
+		op, err := ParseNote(n)
+		if err != nil {
+			t.Fatalf("ParseNote(%q): %v", n, err)
+		}
+		if got := op.Note(); got != n {
+			t.Errorf("round trip: %q -> %q", n, got)
+		}
+	}
+}
+
+func TestParseNoteRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"frobnicate pid=1",
+		"touch pid=1 page=3",                  // missing arg
+		"touch pid=1 page=3 words=64 extra=1", // extra arg
+		"touch page=3 pid=1 words=64",         // wrong order
+		"touch pid=1 page=3 words",            // no value
+		"sync now",                            // sync takes no args
+	}
+	for _, n := range bad {
+		if _, err := ParseNote(n); err == nil {
+			t.Errorf("ParseNote(%q): expected error", n)
+		}
+	}
+}
+
+func TestParseRejectsDroppedAndMissingOrigin(t *testing.T) {
+	ev := []trace.Event{{Kind: trace.EvOp, Note: "sync"}}
+	if _, err := Parse(trace.Export{Events: ev}); err == nil {
+		t.Error("Parse accepted export without origin")
+	}
+	o := &trace.Origin{Workload: "x", Config: "A"}
+	if _, err := Parse(trace.Export{Origin: o, Dropped: 3, Events: ev}); err == nil {
+		t.Error("Parse accepted export with dropped events")
+	}
+	if _, err := Parse(trace.Export{Origin: o}); err == nil {
+		t.Error("Parse accepted export with no op events")
+	}
+	if _, err := Parse(trace.Export{Origin: o, Events: ev}); err != nil {
+		t.Errorf("Parse rejected a well-formed export: %v", err)
+	}
+}
+
+// TestClosure proves the record→replay→re-export closure: for every
+// configuration and benchmark, replaying an exported trace on a fresh
+// system reproduces the original run exactly — DeepEqual Result,
+// byte-identical re-exported trace JSON.
+func TestClosure(t *testing.T) {
+	workloads := []string{"stress-42", "afs-bench"}
+	if !testing.Short() {
+		workloads = append(workloads, "latex-paper", "kernel-build")
+	}
+	for _, cfg := range policy.Configs() {
+		for _, name := range workloads {
+			t.Run(cfg.Label+"/"+name, func(t *testing.T) {
+				w, err := workload.ByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				spec := harness.Spec{
+					Workload: w,
+					Config:   cfg,
+					Scale:    workload.Small(),
+					TraceN:   1 << 16,
+				}
+				if err := VerifyClosure(context.Background(), spec); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestCXLPCC runs the scenario under every configuration (oracle-clean
+// everywhere) and proves the same closure for a recorded scenario run.
+func TestCXLPCC(t *testing.T) {
+	for _, cfg := range policy.Configs() {
+		t.Run(cfg.Label, func(t *testing.T) {
+			w, err := CXLPCCWorkload(cfg.Label, workload.Small())
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := harness.Spec{
+				Workload: w,
+				Config:   cfg,
+				Scale:    workload.Small(),
+				TraceN:   1 << 16,
+			}
+			res, ex, err := Record(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.CheckClean(); err != nil {
+				t.Fatal(err)
+			}
+			gotRes, gotEx, err := Replay(context.Background(), ex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotRes, res) {
+				t.Error("replayed scenario Result differs")
+			}
+			if err := CompareExports(ex, gotEx); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestMinimizedSubsetReplays exercises the translation tables: a
+// hand-picked subset of a recorded program (what the minimizer
+// produces) must still execute, with kernel-chosen values rebound.
+func TestMinimizedSubsetReplays(t *testing.T) {
+	pr, err := FromNotes("subset", "F", []string{
+		"spawn pid=7 img=- text=0 heap=8", // recorded pid differs from replay's
+		"spawn pid=9 img=- text=0 heap=8",
+		"touch pid=7 page=2 words=32",
+		"flushp pid=7 vpn=0x10002",
+		"send from=7 page=2 to=9 vpn=0x31337",
+		"readp pid=9 vpn=0x31337 words=16",
+		"purgep pid=9 vpn=0x31337",
+		"exit pid=9",
+		"exit pid=7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := pr.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.TraceN = 1 << 12
+	res, _, err := harness.Exec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckClean(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnboundReferenceFails pins the minimizer's rejection signal: an
+// op referring to a pid no surviving op bound must error, not guess.
+func TestUnboundReferenceFails(t *testing.T) {
+	pr, err := FromNotes("dangling", "A", []string{
+		"touch pid=7 page=2 words=32",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := pr.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := harness.Exec(spec); err == nil {
+		t.Fatal("replay of a dangling pid reference succeeded")
+	}
+}

@@ -2,15 +2,20 @@ package service
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
 	"vcache/internal/policy"
+	"vcache/internal/replay"
+	"vcache/internal/trace"
 	"vcache/internal/workload"
 )
 
@@ -18,6 +23,7 @@ import (
 //
 //	POST /run       one simulation request  → {"key","result"} (+ X-Vcache-Key / X-Vcache-Outcome headers)
 //	POST /batch     {"runs":[...]}          → {"results":[{"outcome","run"|"error"}]}
+//	POST /replay    a recorded trace export → {"key","result"} (opt-in; 404 unless Config.EnableReplay)
 //	GET  /healthz   liveness + drain state
 //	GET  /metrics   Prometheus-style text exposition
 //	GET  /workloads available workloads and configurations
@@ -25,6 +31,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/replay", s.handleReplay)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/workloads", s.handleWorkloads)
@@ -102,6 +109,88 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	_, _ = w.Write(sv.body)
 	s.logRequest("/run", http.StatusOK, sv.outcome, sv.res, req, "", time.Since(start), sv.phases)
+}
+
+// handleReplay re-executes a recorded trace export (the body of a
+// record:true /run response's "trace" field, or a vcachesim -record
+// file) through the same admission control, singleflight, and cache as
+// /run. The response body has the /run shape — {"key","result"} — and
+// determinism makes its "result" byte-identical to the recorded run's.
+// The endpoint is opt-in (Config.EnableReplay); a daemon without it
+// answers 404.
+func (s *Service) handleReplay(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST a trace export to /replay")
+		return
+	}
+	s.markShard(w, r)
+	if !s.cfg.EnableReplay {
+		writeJSONError(w, http.StatusNotFound, "replay is not enabled on this daemon (Config.EnableReplay)")
+		return
+	}
+	start := time.Now()
+	var ex trace.Export
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxReplayBody)).Decode(&ex); err != nil {
+		s.m.inc(&s.m.rejectedInvalid)
+		writeJSONError(w, http.StatusBadRequest, "decode trace export: %v", err)
+		return
+	}
+	pr, err := replay.Parse(ex)
+	if err != nil {
+		s.m.inc(&s.m.rejectedInvalid)
+		writeJSONError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spec, err := pr.Spec()
+	if err != nil {
+		s.m.inc(&s.m.rejectedInvalid)
+		writeJSONError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.Draining() {
+		s.m.inc(&s.m.rejectedDraining)
+		writeJSONError(w, http.StatusServiceUnavailable, "%s", ErrDraining.Error())
+		return
+	}
+	req := RunRequest{Workload: pr.Origin.Workload, Config: pr.Origin.Config}
+	res := &Resolved{Req: req, Key: replayKey(pr), Spec: spec}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
+	defer cancel()
+	body, outcome, runPhases, err := s.submit(ctx, res)
+	ph := &phaseLog{}
+	ph.fill(runPhases)
+	if err != nil {
+		status := StatusOf(err)
+		s.logRequest("/replay", status, outcome, res, req, err.Error(), time.Since(start), ph)
+		writeJSONError(w, status, "%s", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Vcache-Key", res.Key)
+	w.Header().Set("X-Vcache-Outcome", outcome)
+	if h := ph.header(); h != "" {
+		w.Header().Set("X-Vcache-Phases", h)
+	}
+	_, _ = w.Write(body)
+	s.logRequest("/replay", http.StatusOK, outcome, res, req, "", time.Since(start), ph)
+}
+
+// maxReplayBody bounds an uploaded export: a full RecordTraceEvents
+// ring of op events is a few MiB of JSON; anything past this is not a
+// recording this service produced.
+const maxReplayBody = 64 << 20
+
+// replayKey content-addresses a replay program: origin plus the exact
+// op list. Two uploads of the same recording share one cache entry and
+// one backing run, like two identical /run requests.
+func replayKey(pr *replay.Program) string {
+	h := sha256.New()
+	h.Write([]byte("replay\x00" + pr.Origin.Workload + "\x00" + pr.Origin.Config + "\x00"))
+	for _, op := range pr.Ops {
+		h.Write([]byte(op.Note()))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // served is the outcome of one request through the full serving path.

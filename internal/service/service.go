@@ -76,6 +76,11 @@ type Config struct {
 	// larger batch is rejected with 400 before any element is admitted.
 	// <= 0 means 256.
 	MaxBatch int
+	// EnableReplay opens the /replay endpoint: POST a recorded trace
+	// export and the daemon re-executes it through the same admission
+	// control as /run. Opt-in because a replayed program is arbitrary
+	// caller-supplied work, not a named benchmark a cap can reason about.
+	EnableReplay bool
 	// ShardID, when non-empty, names this daemon as one shard of a
 	// vcached cluster: /run and /batch responses carry it in an
 	// X-Vcache-Shard header so a coordinator (internal/cluster,
@@ -221,7 +226,7 @@ func (s *Service) submit(ctx context.Context, r *Resolved) (body []byte, outcome
 	traced := r.TraceN > 0
 	flightKey := r.Key
 	if traced {
-		flightKey = fmt.Sprintf("%s|trace=%d", r.Key, r.TraceN)
+		flightKey = fmt.Sprintf("%s|trace=%d|record=%t", r.Key, r.TraceN, r.Record)
 	}
 	if !traced {
 		if b, ok := s.cache.get(r.Key); ok {
@@ -288,6 +293,7 @@ func (s *Service) execute(r *Resolved, flightKey string, c *call) {
 	s.m.inc(&s.m.runsStarted)
 	spec := r.Spec
 	spec.TraceN = r.TraceN
+	spec.RecordOps = r.Record
 	runCtx, cancel := context.WithTimeout(s.base, s.cfg.RunTimeout)
 	defer cancel()
 	start := time.Now()

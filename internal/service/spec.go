@@ -43,11 +43,24 @@ type RunRequest struct {
 	// request always executes a fresh backing run (the cached body holds
 	// no events), capped at MaxTraceEvents.
 	Trace int `json:"trace,omitempty"`
+	// Record asks the backing run to record its operation stream: the
+	// response's trace export is then a re-executable program — the
+	// artifact /replay and `vcachesim -replay` consume. Record implies
+	// tracing with a RecordTraceEvents ring (ops need room beyond the
+	// MaxTraceEvents consistency-event cap) and, like Trace, is request
+	// metadata: it stays out of the content-address key and the "result"
+	// field is byte-identical to an unrecorded run's.
+	Record bool `json:"record,omitempty"`
 }
 
 // MaxTraceEvents bounds the per-request trace ring so one request
 // cannot ask the daemon to buffer an arbitrarily large event history.
 const MaxTraceEvents = 4096
+
+// RecordTraceEvents is the ring size of a recorded (record:true) run:
+// large enough that no service-scale run drops an op event, since a
+// dropped op would make the export unreplayable.
+const RecordTraceEvents = 1 << 16
 
 // TimingOverride adjusts individual cycle costs; nil fields keep the
 // HP 720 profile's values.
@@ -83,6 +96,10 @@ type Resolved struct {
 	Key    string
 	Spec   harness.Spec
 	TraceN int
+	// Record mirrors RunRequest.Record: the backing run records its op
+	// stream and the response trace is a replayable export. Carried
+	// outside the Spec and key like TraceN.
+	Record bool
 }
 
 // Resolve validates a request and binds it to its workload,
@@ -152,10 +169,15 @@ func Resolve(req RunRequest) (*Resolved, error) {
 	if err != nil {
 		return nil, err
 	}
+	traceN := req.Trace
+	if req.Record && traceN < RecordTraceEvents {
+		traceN = RecordTraceEvents
+	}
 	return &Resolved{
 		Req:    req,
 		Key:    key,
-		TraceN: req.Trace,
+		TraceN: traceN,
+		Record: req.Record,
 		Spec: harness.Spec{
 			Workload: w,
 			Config:   cfg,

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"vcache/internal/arch"
+)
+
+// The native fuzz targets guard the trace wire format the replay and
+// fuzzing subsystems depend on: any JSON that decodes into an Event or
+// Export must survive a marshal→unmarshal→marshal cycle with the value
+// and the bytes both fixed points. A decode that loses information
+// would silently corrupt recorded programs between `vcachesim -record`
+// and `-replay` (or between /run record:true and /replay).
+
+// FuzzEventRoundTrip: decodable event JSON re-encodes to a stable
+// fixed point.
+func FuzzEventRoundTrip(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"seq":1,"cycles":40,"kind":"flush","frame":7,"color":3}`),
+		[]byte(`{"seq":2,"cycles":0,"kind":"dma_prep","frame":9,"note":"read"}`),
+		[]byte(`{"seq":3,"cycles":12,"kind":"op","frame":0,"note":"touch pid=1 page=3 words=64"}`),
+		[]byte(`{"seq":4,"cycles":99,"kind":"purge","frame":2,"color":0,"space":5,"vpn":65540}`),
+		[]byte(`null`),
+		[]byte(`{"kind":"bogus"}`),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var e Event
+		if err := json.Unmarshal(data, &e); err != nil {
+			return // not an event; nothing to round-trip
+		}
+		b1, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("decoded event does not re-encode: %v\ninput: %s", err, data)
+		}
+		var e2 Event
+		if err := json.Unmarshal(b1, &e2); err != nil {
+			t.Fatalf("re-encoded event does not decode: %v\nencoded: %s", err, b1)
+		}
+		if e2 != e {
+			t.Fatalf("event changed across the round trip:\n%+v\nvs\n%+v\ninput: %s", e, e2, data)
+		}
+		b2, err := json.Marshal(e2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("event encoding is not a fixed point:\n%s\nvs\n%s", b1, b2)
+		}
+	})
+}
+
+// FuzzExportRoundTrip: the same fixed-point property for a whole
+// export, origin and events included.
+func FuzzExportRoundTrip(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"total":2,"retained":2,"dropped":0,"summary":{"flushes":1,"purges":0,"ipurges":0,"mapping_faults":0,"consistency_faults":0,"modify_faults":0,"dma_preps":0,"prepares":0,"dma_moves":0,"ops":1},"events":[{"seq":1,"cycles":4,"kind":"flush","frame":1,"color":2},{"seq":2,"cycles":9,"kind":"op","frame":0,"note":"sync"}]}`),
+		[]byte(`{"total":0,"retained":0,"dropped":0,"summary":{"flushes":0,"purges":0,"ipurges":0,"mapping_faults":0,"consistency_faults":0,"modify_faults":0,"dma_preps":0,"prepares":0,"dma_moves":0,"ops":0},"origin":{"workload":"afs-bench","config":"B","scale":"small","factor":0.25},"events":[]}`),
+		[]byte(`{"events":null}`),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ex Export
+		if err := json.Unmarshal(data, &ex); err != nil {
+			return
+		}
+		b1, err := json.Marshal(ex)
+		if err != nil {
+			t.Fatalf("decoded export does not re-encode: %v\ninput: %s", err, data)
+		}
+		var ex2 Export
+		if err := json.Unmarshal(b1, &ex2); err != nil {
+			t.Fatalf("re-encoded export does not decode: %v\nencoded: %s", err, b1)
+		}
+		if !reflect.DeepEqual(ex2, ex) {
+			t.Fatalf("export changed across the round trip:\n%+v\nvs\n%+v\ninput: %s", ex, ex2, data)
+		}
+		b2, err := json.Marshal(ex2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("export encoding is not a fixed point:\n%s\nvs\n%s", b1, b2)
+		}
+	})
+}
+
+// TestEventJSONRoundTripCases pins the wire-format corners the fuzz
+// targets explore: the NoCachePage omission, the op-note carrier, and
+// kind-name rejection.
+func TestEventJSONRoundTripCases(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Cycles: 40, Kind: EvFlush, Frame: 7, Color: 3},
+		{Seq: 2, Kind: EvDMAPrep, Frame: 9, Color: arch.NoCachePage, Note: "read"},
+		{Seq: 3, Cycles: 12, Kind: EvOp, Color: arch.NoCachePage, Note: "touch pid=1 page=3 words=64"},
+		{Seq: 4, Kind: EvPurge, Frame: 2, Color: 0, Space: 5, VPN: 0x10004},
+	}
+	for _, e := range events {
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Event
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("decode %s: %v", b, err)
+		}
+		if got != e {
+			t.Errorf("round trip changed the event: %+v -> %+v", e, got)
+		}
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(`{"kind":"frobnicate"}`), &e); err == nil {
+		t.Error("unknown kind decoded without error")
+	}
+}
+
+// TestOriginJSONRoundTrip: the origin block replay depends on survives
+// encoding with every field intact.
+func TestOriginJSONRoundTrip(t *testing.T) {
+	o := Origin{Workload: "kernel-build", Config: "F", Scale: "custom", Factor: 0.3, CPUs: 2, Frames: 2048}
+	b, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Origin
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != o {
+		t.Errorf("origin round trip: %+v -> %+v", o, got)
+	}
+}

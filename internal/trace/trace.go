@@ -38,6 +38,13 @@ const (
 	// machine-level data movement the EvDMAPrep consistency work
 	// precedes).
 	EvDMAMove
+	// EvOp is one kernel-level operation of the workload program — the
+	// *cause* stream, where every other kind is a consequence. The Note
+	// field carries the operation in the replayable grammar of
+	// internal/replay (verb followed by key=value arguments); a trace
+	// whose EvOp events were all retained can be re-executed against a
+	// fresh kernel.
+	EvOp
 
 	// numKinds bounds the Kind space; keep it last.
 	numKinds
@@ -63,6 +70,8 @@ func (k Kind) String() string {
 		return "prepare"
 	case EvDMAMove:
 		return "dma-move"
+	case EvOp:
+		return "op"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -165,13 +174,46 @@ func (e *Event) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
+// Origin describes the run that produced a trace, in just enough detail
+// for internal/replay to reconstruct an equivalent pre-run system:
+// which workload's Setup built the initial state, under which policy
+// configuration and scale, on what machine. Zero-valued machine fields
+// mean the kernel defaults.
+type Origin struct {
+	Workload string  `json:"workload"`
+	Config   string  `json:"config"`
+	Scale    string  `json:"scale,omitempty"`
+	Factor   float64 `json:"factor,omitempty"`
+	CPUs     int     `json:"cpus,omitempty"`
+	Frames   int     `json:"frames,omitempty"`
+}
+
 // Recorder is a ring buffer of events. A nil *Recorder discards
 // everything, so call sites need no guards.
 type Recorder struct {
-	buf  []Event
-	seq  uint64
-	next int
-	full bool
+	buf    []Event
+	seq    uint64
+	next   int
+	full   bool
+	origin *Origin
+}
+
+// SetOrigin attaches the run description carried by Export (nil detaches
+// it). The harness sets it when operation recording is on, so an
+// exported trace is a self-describing replay case.
+func (r *Recorder) SetOrigin(o *Origin) {
+	if r == nil {
+		return
+	}
+	r.origin = o
+}
+
+// Origin returns the attached run description, if any.
+func (r *Recorder) Origin() *Origin {
+	if r == nil {
+		return nil
+	}
+	return r.origin
 }
 
 // NewRecorder returns a recorder keeping the last `size` events.
@@ -278,6 +320,7 @@ type Summary struct {
 	DMAPreps          int `json:"dma_preps"`
 	Prepares          int `json:"prepares"`
 	DMAMoves          int `json:"dma_moves"`
+	Ops               int `json:"ops"`
 }
 
 // add tallies one event kind.
@@ -301,6 +344,8 @@ func (s *Summary) add(k Kind) {
 		s.Prepares++
 	case EvDMAMove:
 		s.DMAMoves++
+	case EvOp:
+		s.Ops++
 	}
 }
 
@@ -326,7 +371,11 @@ type Export struct {
 	// Dropped is Total - Retained: how many events rotated out.
 	Dropped uint64  `json:"dropped"`
 	Summary Summary `json:"summary"`
-	Events  []Event `json:"events"`
+	// Origin, when present, describes the recorded run well enough for
+	// internal/replay to re-execute the EvOp stream (replay requires
+	// Dropped == 0 so the stream is complete).
+	Origin *Origin `json:"origin,omitempty"`
+	Events []Event `json:"events"`
 }
 
 // Export snapshots the recorder. A nil recorder exports an empty value
@@ -341,6 +390,7 @@ func (r *Recorder) Export() Export {
 		Total:    r.Total(),
 		Retained: len(evs),
 		Dropped:  r.Total() - uint64(len(evs)),
+		Origin:   r.Origin(),
 		Events:   evs,
 	}
 	for _, e := range evs {
@@ -368,11 +418,11 @@ func (r *Recorder) UnmarshalJSON(b []byte) error {
 		return fmt.Errorf("trace: export total %d below retained event count %d", exp.Total, len(exp.Events))
 	}
 	if len(exp.Events) == 0 {
-		*r = Recorder{buf: make([]Event, 1), seq: exp.Total}
+		*r = Recorder{buf: make([]Event, 1), seq: exp.Total, origin: exp.Origin}
 		return nil
 	}
 	buf := make([]Event, len(exp.Events))
 	copy(buf, exp.Events)
-	*r = Recorder{buf: buf, seq: exp.Total, next: 0, full: true}
+	*r = Recorder{buf: buf, seq: exp.Total, next: 0, full: true, origin: exp.Origin}
 	return nil
 }

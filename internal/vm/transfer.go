@@ -101,6 +101,38 @@ func (sys *System) TransferPage(from *Space, fromVPN arch.VPN, to *Space) (arch.
 	return reg.Start, nil
 }
 
+// SharePage maps the page backing fromVPN in space `from` into space
+// `to` read-write without breaking the sender's mapping — Mach's
+// vm_remap-style sharing, the general form of the server's shared
+// communication pages. Both spaces keep full access to the same frame,
+// so with unaligned addresses every ownership change between them runs
+// the consistency algorithm across two cache colors. The receiver
+// address is kernel-chosen (aligned with the sender's under the
+// align-pages policy); it returns the receiver-side VPN.
+func (sys *System) SharePage(from *Space, fromVPN arch.VPN, to *Space) (arch.VPN, error) {
+	r := from.regionAt(fromVPN)
+	if r == nil {
+		return 0, fmt.Errorf("vm: share of unmapped vpn %#x in space %d", uint64(fromVPN), from.ID)
+	}
+	idx := r.ObjOff + uint64(fromVPN-r.Start)
+	if r.Shadow != nil {
+		if _, ok := r.Shadow.pages[idx]; ok {
+			// The page was privately copied after a fork; its shadow
+			// object's lifetime is tied to the sender's region alone and
+			// cannot carry a second reference.
+			return 0, fmt.Errorf("vm: share of privately copied vpn %#x in space %d", uint64(fromVPN), from.ID)
+		}
+	}
+	wantColor := sys.geom.DColorOfVPN(fromVPN)
+	toVPN := sys.FindVA(to, 1, wantColor)
+	reg, err := sys.MapObject(to, r.Obj, idx, 1, toVPN, wantColor, arch.ProtReadWrite, false, KindShared)
+	if err != nil {
+		return 0, err
+	}
+	sys.stats.PageShares++
+	return reg.Start, nil
+}
+
 // MapSharedPair maps a fresh shared object into two spaces — the Unix
 // server's communication pages. With fixed addresses (fixedA/fixedB not
 // NoVPN) the mappings land where the caller demands, as the original

@@ -103,6 +103,11 @@ type Space struct {
 	cursor  arch.VPN  // monotonic first-fit allocation cursor
 }
 
+// Mapped reports whether vpn falls inside any region of the space —
+// the address-validity test user-level cache maintenance performs
+// before consulting the (lazily populated) hardware page tables.
+func (s *Space) Mapped(vpn arch.VPN) bool { return s.regionAt(vpn) != nil }
+
 // regionAt finds the region containing vpn, or nil.
 func (s *Space) regionAt(vpn arch.VPN) *Region {
 	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].End() > vpn })
@@ -136,6 +141,7 @@ type Stats struct {
 	FilePageIns      uint64 // mapped-file data page-ins
 	PageTransfers    uint64
 	AlignedTransfers uint64 // transfers whose chosen VA aligned with the source
+	PageShares       uint64 // read-write cross-space page shares
 }
 
 // System is the virtual memory system.
@@ -253,6 +259,13 @@ func (sys *System) MapObject(s *Space, obj *Object, objOff, pages uint64, at arc
 	}
 	if cow {
 		r.Shadow = sys.NewObject()
+	}
+	if obj.pages == nil {
+		// The object died once already — its last reference dropped and
+		// freePages released the frames, nilling the map. Remapping it
+		// revives it with no resident pages: content pages back in from
+		// the pager (or zero-fills) exactly like a fresh object.
+		obj.pages = make(map[uint64]arch.PFN)
 	}
 	obj.refs++
 	s.insertRegion(r)

@@ -31,7 +31,7 @@ func AFSBench() Workload {
 			if err := k.WriteFileContent(cc, ccTextPages); err != nil {
 				return err
 			}
-			return k.FS.Sync()
+			return k.Sync()
 		},
 		Run: func(k *kernel.Kernel, s Scale) error {
 			files := s.N(baseFiles)
@@ -151,7 +151,7 @@ func AFSBench() Workload {
 				k.Compute(30000)
 				k.Exit(child)
 			}
-			return k.FS.Sync()
+			return k.Sync()
 		},
 	}
 }

@@ -60,7 +60,7 @@ func KernelBuild() Workload {
 					return err
 				}
 			}
-			return k.FS.Sync()
+			return k.Sync()
 		},
 		Run: func(k *kernel.Kernel, s Scale) error {
 			sources := s.N(baseSources)
@@ -172,7 +172,7 @@ func KernelBuild() Workload {
 			}
 			k.Compute(400000)
 			k.Exit(linker)
-			return k.FS.Sync()
+			return k.Sync()
 		},
 	}
 }

@@ -49,7 +49,7 @@ func LatexPaper() Workload {
 					return err
 				}
 			}
-			return k.FS.Sync()
+			return k.Sync()
 		},
 		Run: func(k *kernel.Kernel, s Scale) error {
 			tex, err := k.Spawn(nil, 0, 24)
@@ -123,7 +123,7 @@ func LatexPaper() Workload {
 				}
 				k.Compute(250000)
 			}
-			return k.FS.Sync()
+			return k.Sync()
 		},
 	}
 }

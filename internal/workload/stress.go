@@ -24,7 +24,7 @@ func Stress(seed uint64, steps int) Workload {
 			if err := k.WriteFileContent(img, 4); err != nil {
 				return err
 			}
-			return k.FS.Sync()
+			return k.Sync()
 		},
 		Run: func(k *kernel.Kernel, s Scale) error {
 			return runStress(k, seed, s.N(steps))
@@ -62,7 +62,7 @@ func runStress(k *kernel.Kernel, seed uint64, steps int) error {
 	for _, p := range st.procs {
 		k.Exit(p)
 	}
-	return k.FS.Sync()
+	return k.Sync()
 }
 
 func (st *stressState) spawn() error {

@@ -26,6 +26,8 @@ package workload
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"vcache/internal/harness"
 	"vcache/internal/kernel"
@@ -54,12 +56,23 @@ func Benchmarks() []Workload {
 	return []Workload{AFSBench(), LatexPaper(), KernelBuild()}
 }
 
-// ByName looks a workload up by name.
+// ByName looks a workload up by name. Beyond the three paper
+// benchmarks it resolves "stress-<seed>" to the randomized torture
+// workload with that seed (at its standard 1500 steps): the name fully
+// determines the workload, which is what lets a trace Origin — or a
+// service request — name any run the fuzzer or tests can produce.
 func ByName(name string) (Workload, error) {
 	for _, w := range Benchmarks() {
 		if w.Name == name {
 			return w, nil
 		}
+	}
+	if seedStr, ok := strings.CutPrefix(name, "stress-"); ok {
+		seed, err := strconv.ParseUint(seedStr, 10, 64)
+		if err != nil {
+			return Workload{}, fmt.Errorf("workload: bad stress seed in %q: %w", name, err)
+		}
+		return Stress(seed, 1500), nil
 	}
 	return Workload{}, fmt.Errorf("workload: unknown benchmark %q", name)
 }
