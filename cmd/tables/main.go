@@ -15,6 +15,9 @@
 //	tables -micro        # just the microbenchmark
 //	tables -analysis     # just the Section 5.1 analysis
 //	tables -sweep        # the parameter sweeps (memory size, purge cost)
+//	tables -mp           # the multiprocessor table (1/2/4 CPUs × A–F)
+//	tables -cpus 4       # run the standard tables on a 4-CPU machine
+//	tables -parallel-sim # broadcast ops use one goroutine per simulated CPU
 //	tables -scale 0.3    # scale the workloads down for a quick look
 //	tables -j 8          # run up to 8 simulations in parallel
 //	tables -v            # log per-run progress to stderr
@@ -30,12 +33,38 @@ import (
 	"syscall"
 
 	"vcache/internal/harness"
+	"vcache/internal/kernel"
 	"vcache/internal/policy"
 	"vcache/internal/replay"
 	"vcache/internal/report"
 	"vcache/internal/sim"
 	"vcache/internal/workload"
 )
+
+// Deterministic preemption parameters for every multiprocessor run this
+// command makes: migrate at most once per 50k-cycle quantum, CPU choice
+// drawn from a fixed seed. Identical across invocations, so MP tables
+// are byte-identical run to run.
+const (
+	mpQuantum = 50000
+	mpSeed    = 1
+)
+
+// mpKernel builds the kernel override for an N-CPU run (nil when the
+// default uniprocessor serial-simulator configuration applies, keeping
+// the default output byte-identical to earlier versions).
+func mpKernel(cpus int, parallel bool) *kernel.Config {
+	if cpus <= 1 && !parallel {
+		return nil
+	}
+	kc := kernel.DefaultConfig(policy.New())
+	kc.Machine.CPUs = cpus
+	kc.Machine.ParallelBroadcast = parallel
+	if cpus > 1 {
+		kc.Sched = kernel.SchedConfig{Quantum: mpQuantum, Seed: mpSeed}
+	}
+	return &kc
+}
 
 func main() {
 	log.SetFlags(0)
@@ -44,6 +73,9 @@ func main() {
 	micro := flag.Bool("micro", false, "print only the alias microbenchmark")
 	analysis := flag.Bool("analysis", false, "print only the Section 5.1 analysis")
 	sweep := flag.Bool("sweep", false, "print only the parameter sweeps (memory size, purge cost)")
+	mp := flag.Bool("mp", false, "print only the multiprocessor table (1/2/4 CPUs × A–F)")
+	cpus := flag.Int("cpus", 1, "simulated CPU count for the standard tables (>1 adds deterministic preemption)")
+	parallelSim := flag.Bool("parallel-sim", false, "run broadcast cache ops on one goroutine per simulated CPU (byte-identical results)")
 	factor := flag.Float64("scale", 1.0, "workload scale factor (1.0 = full)")
 	writes := flag.Int("writes", 200000, "alias microbenchmark write count")
 	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS)")
@@ -51,7 +83,8 @@ func main() {
 	flag.Parse()
 
 	scale := workload.Scale{Name: "custom", Factor: *factor}
-	all := !*micro && !*analysis && !*sweep && *table == 0
+	all := !*micro && !*analysis && !*sweep && !*mp && *table == 0
+	kc := mpKernel(*cpus, *parallelSim)
 
 	// Ctrl-C cancels the in-flight plan: running simulations stop at
 	// their next kernel operation and surface as structured RunErrors.
@@ -77,15 +110,20 @@ func main() {
 		return
 	}
 
+	if *mp {
+		fmt.Print(tableMP(ctx, runner, scale, *parallelSim))
+		return
+	}
+
 	if all || *table == 1 {
-		fmt.Print(table1(ctx, runner, scale))
+		fmt.Print(table1(ctx, runner, scale, kc))
 		fmt.Println()
 	}
 	if all || *table == 4 {
-		fmt.Print(table4(ctx, runner, scale))
+		fmt.Print(table4(ctx, runner, scale, kc))
 	}
 	if all || *table == 5 {
-		fmt.Print(table5(ctx, runner))
+		fmt.Print(table5(ctx, runner, kc))
 		fmt.Println()
 	}
 	if all || *micro {
@@ -93,12 +131,23 @@ func main() {
 		fmt.Println()
 	}
 	if all || *analysis {
-		fmt.Print(analysis51(ctx, runner, scale))
+		fmt.Print(analysis51(ctx, runner, scale, kc))
 	}
 }
 
-func table1(ctx context.Context, r *harness.Runner, scale workload.Scale) string {
-	plan := harness.Matrix(workload.Benchmarks(), []policy.Config{policy.Old(), policy.New()}, scale)
+// withKernel applies one kernel override to every spec of a plan (nil
+// leaves the plan untouched — the default configuration).
+func withKernel(plan harness.Plan, kc *kernel.Config) harness.Plan {
+	if kc != nil {
+		for i := range plan {
+			plan[i].Kernel = kc
+		}
+	}
+	return plan
+}
+
+func table1(ctx context.Context, r *harness.Runner, scale workload.Scale, kc *kernel.Config) string {
+	plan := withKernel(harness.Matrix(workload.Benchmarks(), []policy.Config{policy.Old(), policy.New()}, scale), kc)
 	results := mustResults(r.RunContext(ctx, plan))
 	var pairs [][2]workload.Result
 	for i := 0; i < len(results); i += 2 {
@@ -107,7 +156,7 @@ func table1(ctx context.Context, r *harness.Runner, scale workload.Scale) string
 	return report.Table1(pairs)
 }
 
-func table4(ctx context.Context, r *harness.Runner, scale workload.Scale) string {
+func table4(ctx context.Context, r *harness.Runner, scale workload.Scale, kc *kernel.Config) string {
 	benchmarks := workload.Benchmarks()
 	plan := harness.Matrix(benchmarks, policy.Configs(), scale)
 	// The CXL-PCC scenario rides along as one more row group: the same
@@ -121,6 +170,7 @@ func table4(ctx context.Context, r *harness.Runner, scale workload.Scale) string
 		}
 		plan = append(plan, harness.Spec{Workload: w, Config: cfg, Scale: scale})
 	}
+	plan = withKernel(plan, kc)
 	results := mustResults(r.RunContext(ctx, plan))
 	var names []string
 	var grouped [][]workload.Result
@@ -134,18 +184,48 @@ func table4(ctx context.Context, r *harness.Runner, scale workload.Scale) string
 	return report.Table4(names, grouped)
 }
 
-func table5(ctx context.Context, r *harness.Runner) string {
+func table5(ctx context.Context, r *harness.Runner, kc *kernel.Config) string {
 	systems := policy.Table5Systems()
 	var plan harness.Plan
 	for _, cfg := range systems {
 		plan = append(plan, harness.Spec{Workload: workload.Stress(42, 1500), Config: cfg, Scale: workload.Full()})
 	}
+	plan = withKernel(plan, kc)
 	results := mustResults(r.RunContext(ctx, plan))
 	measured := make(map[string]workload.Result)
 	for i, cfg := range systems {
 		measured[cfg.Label] = results[i]
 	}
 	return report.Table5(measured)
+}
+
+// tableMP runs the multiprocessor sweep: kernel-build (the most
+// process- and sharing-intensive benchmark) under every configuration
+// A–F at 1, 2 and 4 simulated CPUs, with deterministic quantum
+// preemption migrating processes between CPUs on the MP rows.
+func tableMP(ctx context.Context, r *harness.Runner, scale workload.Scale, parallel bool) string {
+	w := workload.KernelBuild()
+	cpuCounts := []int{1, 2, 4}
+	var plan harness.Plan
+	for _, n := range cpuCounts {
+		kc := mpKernel(n, parallel)
+		for _, cfg := range policy.Configs() {
+			plan = append(plan, harness.Spec{
+				Name:     fmt.Sprintf("%s/%s/%dcpu", w.Name, cfg.Label, n),
+				Workload: w,
+				Config:   cfg,
+				Scale:    scale,
+				Kernel:   kc,
+			})
+		}
+	}
+	results := mustResults(r.RunContext(ctx, plan))
+	per := len(policy.Configs())
+	var grouped [][]workload.Result
+	for i := range cpuCounts {
+		grouped = append(grouped, results[i*per:(i+1)*per])
+	}
+	return report.TableMP(w.Name, cpuCounts, grouped)
 }
 
 func microbench(writes int) string {
@@ -160,7 +240,7 @@ func microbench(writes int) string {
 	return report.Micro(aligned, unaligned)
 }
 
-func analysis51(ctx context.Context, r *harness.Runner, scale workload.Scale) string {
+func analysis51(ctx context.Context, r *harness.Runner, scale workload.Scale, kc *kernel.Config) string {
 	// For each benchmark: one run under the HP 720 timing, one under the
 	// single-cycle-purge what-if profile.
 	fastTiming := sim.FastPurgeTiming()
@@ -170,6 +250,7 @@ func analysis51(ctx context.Context, r *harness.Runner, scale workload.Scale) st
 			harness.Spec{Workload: w, Config: policy.New(), Scale: scale},
 			harness.Spec{Workload: w, Config: policy.New(), Scale: scale, Timing: &fastTiming})
 	}
+	plan = withKernel(plan, kc)
 	results := mustResults(r.RunContext(ctx, plan))
 	var normal, fast []workload.Result
 	for i := 0; i < len(results); i += 2 {

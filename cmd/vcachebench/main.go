@@ -47,10 +47,13 @@ import (
 
 // Entry is one measured cell of the trajectory.
 type Entry struct {
-	Name      string  `json:"name"`
-	Workload  string  `json:"workload"`
-	Config    string  `json:"config"`
-	FastPaths bool    `json:"fast_paths"`
+	Name      string `json:"name"`
+	Workload  string `json:"workload"`
+	Config    string `json:"config"`
+	FastPaths bool   `json:"fast_paths"`
+	// CPUs is the simulated processor count (0 means the default
+	// uniprocessor; the MP leg runs 4 with deterministic preemption).
+	CPUs      int     `json:"cpus,omitempty"`
 	WallNS    int64   `json:"wall_ns"`    // best-of-reps wall clock for one run
 	SimCycles uint64  `json:"sim_cycles"` // simulated cycles of that run
 	SimSec    float64 `json:"sim_seconds"`
@@ -74,6 +77,10 @@ type Report struct {
 	// WarmBoot compares time-to-first-measured-cycle: a cold boot versus
 	// forking a pooled snapshot.
 	WarmBoot WarmBoot `json:"warm_boot_kernel_build_f"`
+	// MP is kernel-build × F on a 4-CPU machine with deterministic
+	// quantum preemption and the parallel broadcast simulator — the
+	// multiprocessor leg of the trajectory.
+	MP Entry `json:"kernel_build_f_4cpu"`
 }
 
 // WarmBoot is the warm-boot leg of the trajectory: how long it takes to
@@ -144,6 +151,10 @@ func main() {
 	log.Printf("warm boot: cold %.1f ms, restore %.1f ms (%.1fx)",
 		float64(rep.WarmBoot.ColdBootNS)/1e6, float64(rep.WarmBoot.WarmRestoreNS)/1e6, rep.WarmBoot.Speedup)
 
+	rep.MP = measureMP(scale, *reps)
+	rep.Entries = append(rep.Entries, rep.MP)
+	log.Printf("%-28s %10.1f ms  %12d cycles", rep.MP.Name, float64(rep.MP.WallNS)/1e6, rep.MP.SimCycles)
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -194,6 +205,46 @@ func measure(w harness.Workload, cfg policy.Config, scale workload.Scale, reps i
 	}
 	if !fast {
 		best.Name = "baseline/" + w.Name + "/" + cfg.Label
+	}
+	if best.SimCycles > 0 {
+		best.NSPerMegacycle = float64(best.WallNS) / (float64(best.SimCycles) / 1e6)
+	}
+	return best
+}
+
+// measureMP times the multiprocessor leg: kernel-build × F on 4 CPUs
+// with deterministic quantum preemption (quantum 50k cycles, seed 1 —
+// the same parameters cmd/tables uses) and the parallel broadcast
+// simulator, oracle off, best of reps.
+func measureMP(scale workload.Scale, reps int) Entry {
+	w := workload.KernelBuild()
+	cfg := mustConfig("F")
+	kc := kernel.DefaultConfig(cfg)
+	kc.Machine.WithOracle = false
+	kc.Machine.CPUs = 4
+	kc.Machine.ParallelBroadcast = true
+	kc.Sched = kernel.SchedConfig{Quantum: 50000, Seed: 1}
+	spec := harness.Spec{Workload: w, Config: cfg, Scale: scale, Kernel: &kc}
+	var best Entry
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		r, _, err := harness.Exec(spec)
+		wall := time.Since(start)
+		if err != nil {
+			log.Fatalf("mp leg: %v", err)
+		}
+		if i == 0 || wall.Nanoseconds() < best.WallNS {
+			best = Entry{
+				Name:      "mp/" + w.Name + "/" + cfg.Label + "/4cpu",
+				Workload:  w.Name,
+				Config:    cfg.Label,
+				FastPaths: true,
+				CPUs:      4,
+				WallNS:    wall.Nanoseconds(),
+				SimCycles: r.Cycles,
+				SimSec:    r.Seconds,
+			}
+		}
 	}
 	if best.SimCycles > 0 {
 		best.NSPerMegacycle = float64(best.WallNS) / (float64(best.SimCycles) / 1e6)

@@ -19,7 +19,14 @@
 //	vcachesim -workload kernel-build -config F -warm-boot -phases
 //	vcachesim -workload afs-bench -config F -record run.json
 //	vcachesim -replay run.json
+//	vcachesim -workload kernel-build -config F -cpus 4
 //	vcachesim -list
+//
+// -cpus N > 1 simulates an N-processor machine (per-CPU caches and
+// TLBs, hardware coherence for aligned copies) with a deterministic
+// preemption scheduler migrating processes between CPUs every -quantum
+// cycles; -sched-seed picks the interleaving. The same flags and
+// defaults as `tables -cpus`, so single runs reproduce table rows.
 //
 // -trace-json writes the run's consistency-event ring as structured
 // JSON (the same wire form vcached returns for a traced /run request);
@@ -65,6 +72,9 @@ func main() {
 	phases := flag.Bool("phases", false, "print the wall-clock phase breakdown (boot/setup/restore/run/collect) to stderr")
 	warm := flag.Bool("warm-boot", false, "snapshot the booted machine and run the measured phase from a fork (the result is identical; see -phases for the restore span)")
 	cpus := flag.Int("cpus", 1, "processor count (Section 3.3 multiprocessor mode)")
+	quantum := flag.Uint64("quantum", 50000, "preemption quantum in cycles for -cpus > 1 (0 = pin processes to their spawn CPUs)")
+	schedSeed := flag.Uint64("sched-seed", 1, "seed for the deterministic preemption scheduler's CPU choice")
+	parallelSim := flag.Bool("parallel-sim", false, "run broadcast cache ops on one goroutine per simulated CPU (byte-identical results)")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
 	record := flag.String("record", "", "record the run's operations and write the replayable trace export to this file")
 	replayFile := flag.String("replay", "", "re-execute a recorded trace export, verify closure, and print its result")
@@ -131,6 +141,13 @@ func main() {
 	}
 	kc := kernel.DefaultConfig(cfg)
 	kc.Machine.CPUs = *cpus
+	kc.Machine.ParallelBroadcast = *parallelSim
+	if *cpus > 1 && *quantum > 0 {
+		// Deterministic quantum preemption: processes migrate between
+		// CPUs during the measured phase (recorded as "sched" ops when
+		// -record is on, so replays reproduce the exact interleaving).
+		kc.Sched = kernel.SchedConfig{Quantum: *quantum, Seed: *schedSeed}
+	}
 	// With -warm-boot the run goes through a one-slot snapshot pool: the
 	// boot is snapshotted post-setup and the measured phase executes on a
 	// fork — the restore span shows up in -phases, the result does not

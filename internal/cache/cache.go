@@ -364,70 +364,21 @@ func (c *Cache) frameHolds(f arch.PFN, tag arch.PA) bool {
 // FlushPage removes from cache page cp every line belonging to physical
 // frame f, writing dirty lines back. This is the page-granularity flush
 // the pmap layer uses (the set of lines a virtual page maps onto).
+// It is the stage-then-apply form of the staged implementation (see
+// staged.go): the shared-state effects land immediately instead of
+// being deferred across a broadcast barrier.
 func (c *Cache) FlushPage(cp arch.CachePage, f arch.PFN) {
-	c.stats.PageFlushes++
-	t := c.clock.Timing()
-	lo, hi := c.pageSets(cp, f)
-	for si := lo; si < hi; si++ {
-		set := c.sets[si]
-		hit := false
-		for w := range set {
-			ln := &set[w]
-			if ln.valid && c.frameHolds(f, ln.tag) {
-				if ln.dirty {
-					c.mem.WriteLine(ln.tag, ln.data)
-					c.stats.WriteBacks++
-				}
-				ln.valid = false
-				ln.dirty = false
-				hit = true
-			}
-		}
-		if hit {
-			c.clock.Charge(sim.CatFlush, t.LineFlushHit)
-		} else {
-			c.clock.Charge(sim.CatFlush, t.LineFlushMiss)
-		}
-	}
+	var st Staged
+	c.FlushPageStage(cp, f, &st)
+	st.Apply(c.mem, c.clock)
 }
 
 // PurgePage removes from cache page cp every line belonging to physical
 // frame f without writing anything back.
 func (c *Cache) PurgePage(cp arch.CachePage, f arch.PFN) {
-	c.stats.PagePurges++
-	t := c.clock.Timing()
-	if c.cfg.ConstantPagePurge {
-		for si, hi := c.pageSets(cp, f); si < hi; si++ {
-			set := c.sets[si]
-			for w := range set {
-				ln := &set[w]
-				if ln.valid && c.frameHolds(f, ln.tag) {
-					ln.valid = false
-					ln.dirty = false
-				}
-			}
-		}
-		c.clock.Charge(sim.CatPurge, t.ICachePagePurge)
-		return
-	}
-	lo, hi := c.pageSets(cp, f)
-	for si := lo; si < hi; si++ {
-		set := c.sets[si]
-		hit := false
-		for w := range set {
-			ln := &set[w]
-			if ln.valid && c.frameHolds(f, ln.tag) {
-				ln.valid = false
-				ln.dirty = false
-				hit = true
-			}
-		}
-		if hit {
-			c.clock.Charge(sim.CatPurge, t.LinePurgeHit)
-		} else {
-			c.clock.Charge(sim.CatPurge, t.LinePurgeMiss)
-		}
-	}
+	var st Staged
+	c.PurgePageStage(cp, f, &st)
+	st.Apply(c.mem, c.clock)
 }
 
 // PurgeAll empties the whole cache without write-back (power-up state:

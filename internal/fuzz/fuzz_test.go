@@ -7,6 +7,7 @@ import (
 
 	"vcache/internal/core"
 	"vcache/internal/replay"
+	"vcache/internal/sim"
 )
 
 // TestSeedProgramsExecute runs every handcrafted recipe under every
@@ -25,6 +26,101 @@ func TestSeedProgramsExecute(t *testing.T) {
 		if cov.Covered() == 0 {
 			t.Errorf("%s: exercised no coverage cells", pr.Origin.Workload)
 		}
+	}
+}
+
+// TestMPSeedCrossCPUCoverage pins the multiprocessor seed's reason for
+// existing. Table 2 cells do not encode which CPU's cache held the
+// line, so coverage alone cannot distinguish cross-CPU interleavings
+// from the same-CPU aliasing the uniprocessor seeds already produce.
+// The cross-CPU observable is cycle accounting: each migration charges
+// exactly one FaultTrap, so if the seed's cycle count differs from its
+// sched-stripped twin by anything OTHER than migrations×FaultTrap, the
+// migrations changed which per-CPU caches serviced the accesses —
+// remote hits, broadcast write-backs of remote dirty lines, cold
+// misses after re-homing. The minimized witness must preserve the
+// seed's other-role cell set.
+func TestMPSeedCrossCPUCoverage(t *testing.T) {
+	trap := sim.HP720Timing().FaultTrap
+	crossCPU := false
+	for _, cfg := range []string{"A", "B", "C", "D", "E", "F"} {
+		var pr *replay.Program
+		for _, p := range SeedPrograms([]string{cfg}) {
+			if p.Origin.Workload == "seed-mp-migrate-"+cfg {
+				pr = p
+			}
+		}
+		if pr == nil {
+			t.Fatal("mp-migrate seed missing")
+		}
+		if pr.Origin.CPUs != 2 {
+			t.Fatalf("mp-migrate origin CPUs = %d, want 2", pr.Origin.CPUs)
+		}
+		res, cov, err := runProgram(context.Background(), pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		otherCells := func(c *core.Coverage) []core.Cell {
+			var out []core.Cell
+			for _, cell := range core.Cells() {
+				if cell.Role == core.RoleOther && c.Count(cell) > 0 {
+					out = append(out, cell)
+				}
+			}
+			return out
+		}
+		want := otherCells(cov)
+		if len(want) == 0 {
+			t.Fatalf("%s: mp-migrate seed covered no other-role cells", cfg)
+		}
+
+		// The sched-stripped twin: identical ops on the same 2-CPU
+		// machine, processes pinned to their spawn CPUs throughout.
+		stripped := *pr
+		stripped.Ops = nil
+		migrations := 0
+		for _, op := range pr.Ops {
+			if op.Verb == "sched" {
+				migrations++
+				continue
+			}
+			stripped.Ops = append(stripped.Ops, op)
+		}
+		res2, _, err := runProgram(context.Background(), &stripped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		residual := int64(res.Cycles) - int64(res2.Cycles) - int64(uint64(migrations)*trap)
+		if residual != 0 {
+			crossCPU = true
+		}
+		t.Logf("%s: %d other-role cells, %d migrations, cache-behavior cycle delta %+d",
+			cfg, len(want), migrations, residual)
+
+		// Minimize against the other-role cell set and keep the witness
+		// honest: still executes, still covers every cell.
+		keep := func(cand *replay.Program) bool {
+			_, c2, err := runProgram(context.Background(), cand)
+			if err != nil {
+				return false
+			}
+			for _, cell := range want {
+				if c2.Count(cell) == 0 {
+					return false
+				}
+			}
+			return true
+		}
+		min := Minimize(context.Background(), pr, keep, 2000)
+		if !keep(min) {
+			t.Fatalf("%s: minimized witness lost the other-role cell set", cfg)
+		}
+		if len(min.Ops) > len(pr.Ops) {
+			t.Fatalf("%s: minimizer grew the program", cfg)
+		}
+	}
+	if !crossCPU {
+		t.Error("no configuration showed cache-behavior effects from migration — interleavings are not cross-CPU")
 	}
 }
 

@@ -12,9 +12,12 @@ import (
 // run under every campaign configuration (the eager and lazy regimes
 // reach different cells from the same ops).
 
-// seedRecipe is one named note list.
+// seedRecipe is one named note list. cpus > 0 builds the program for a
+// multiprocessor origin of that size (sched verbs migrate processes
+// between real per-CPU caches and TLBs); 0 is the default uniprocessor.
 type seedRecipe struct {
 	name  string
+	cpus  int
 	notes []string
 }
 
@@ -24,7 +27,7 @@ func seedRecipes() []seedRecipe {
 		// dirty, empty (after the flush revoked the color), present,
 		// and — via a direct-DMA file read that stales the heap page's
 		// color — stale.
-		{"maint", []string{
+		{name: "maint", notes: []string{
 			"spawn pid=1 img=- text=0 heap=16",
 			"touch pid=1 page=0 words=64",
 			"flushp pid=1 vpn=0x10000", // flush of Dirty
@@ -56,7 +59,7 @@ func seedRecipes() []seedRecipe {
 		// kernel buffer mapping and the user mappings yields the
 		// other-role Present/Dirty/Stale cells for every operation
 		// class, and sync adds the DMA-read-of-dirty path.
-		{"sharedfile", []string{
+		{name: "sharedfile", notes: []string{
 			"spawn pid=1 img=- text=0 heap=16",
 			"spawn pid=2 img=- text=0 heap=16",
 			"create pid=1 file=sd/shared",
@@ -85,7 +88,7 @@ func seedRecipes() []seedRecipe {
 		// leaves stale colors the receiver's aligned (config F) or
 		// unaligned (config A) accesses then hit; write-after-receive
 		// drives the modify-fault CPU-write paths.
-		{"ipc", []string{
+		{name: "ipc", notes: []string{
 			"spawn pid=1 img=- text=0 heap=16",
 			"spawn pid=2 img=- text=0 heap=16",
 			"touch pid=1 page=0 words=64",
@@ -144,10 +147,56 @@ func seedRecipes() []seedRecipe {
 			"exit pid=2",
 			"exit pid=1",
 		}},
+		// Multiprocessor interleaving: two processes pinned to different
+		// CPUs by spawn order, with explicit sched migrations between
+		// accesses. Dirty lines written on one CPU are read, flushed and
+		// purged from the other, so the maintenance and fault paths see
+		// Table 2's other-role cells through *real* per-CPU caches and
+		// TLBs rather than through same-CPU aliasing. The DMA read at
+		// the end stales a frame both CPUs had cached.
+		{name: "mp-migrate", cpus: 2, notes: []string{
+			"spawn pid=1 img=- text=0 heap=16", // lands on CPU 1 (pid % cpus)
+			"spawn pid=2 img=- text=0 heap=16", // lands on CPU 0
+			"touch pid=1 page=0 words=64",      // dirty on CPU 1
+			"sched pid=1 cpu=0",                // migrate: shootdown + re-home
+			"readh pid=1 page=0 words=32",      // aligned snoop pulls CPU 1's dirty line
+			"flushp pid=1 vpn=0x10000",         // broadcast flush, remote copy still live
+			"sched pid=1 cpu=1",
+			"touch pid=1 page=1 words=64", // dirty on CPU 1 again
+			"sched pid=1 cpu=0",
+			"purgep pid=1 vpn=0x10001", // broadcast purge of a remote dirty line
+			// Cross-space sharing with the two sides on different CPUs:
+			// sender dirties on CPU 0, receiver reads and maintains on
+			// CPU 1 (unaligned placement under config B puts the other
+			// side's line in the other-role column of a remote cache).
+			"touch pid=1 page=5 words=64",
+			"sharep from=1 page=5 to=2 vpn=0xf00005",
+			"sched pid=2 cpu=1",
+			"readp pid=2 vpn=0xf00005 words=16",
+			"touch pid=1 page=5 words=64",
+			"flushp pid=2 vpn=0xf00005", // flush with other color dirty on another CPU
+			"touch pid=1 page=6 words=64",
+			"send from=1 page=6 to=2 vpn=0xf00006",
+			"writep pid=2 vpn=0xf00006 words=8", // write-first receive on the other CPU
+			"readp pid=2 vpn=0xf00006 words=16",
+			// DMA-write stales a frame cached on both CPUs at once.
+			"readh pid=1 page=8 words=32",
+			"create pid=1 file=sd/m",
+			"writec file=sd/m pages=1",
+			"sync",
+			"sharep from=1 page=8 to=2 vpn=0xf00008",
+			"readp pid=2 vpn=0xf00008 words=16",
+			"readfd pid=1 file=sd/m page=0 heap=8",
+			"sched pid=2 cpu=0",
+			"purgep pid=2 vpn=0xf00008", // purge of Stale from a third placement
+			"readp pid=2 vpn=0xf00008 words=16",
+			"exit pid=2",
+			"exit pid=1",
+		}},
 		// Text execution: two processes sharing one image exercise the
 		// instruction-fetch DMA-read transitions against frames in
 		// every data-cache state, plus the data-to-instruction copies.
-		{"text", []string{
+		{name: "text", notes: []string{
 			"spawn pid=1 img=- text=0 heap=16",
 			"create pid=1 file=sd/img",
 			"writec file=sd/img pages=2",
@@ -173,7 +222,14 @@ func SeedPrograms(configs []string) []*replay.Program {
 	var out []*replay.Program
 	for _, cfg := range configs {
 		for _, r := range seedRecipes() {
-			pr, err := replay.FromNotes(fmt.Sprintf("seed-%s-%s", r.name, cfg), cfg, r.notes)
+			name := fmt.Sprintf("seed-%s-%s", r.name, cfg)
+			var pr *replay.Program
+			var err error
+			if r.cpus > 0 {
+				pr, err = replay.FromNotesMP(name, cfg, r.cpus, r.notes)
+			} else {
+				pr, err = replay.FromNotes(name, cfg, r.notes)
+			}
 			if err != nil {
 				panic(fmt.Sprintf("fuzz: seed %s: %v", r.name, err))
 			}

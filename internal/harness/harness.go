@@ -284,6 +284,10 @@ func resetAll(k *kernel.Kernel) {
 	k.FS.ResetStats()
 	k.Disk.ResetStats()
 	k.Server.ResetStats()
+	// Preemption stays off through Setup (its migrations would precede
+	// the op log and desynchronize replays); arm it — against the freshly
+	// reset clock — as the measured phase begins.
+	k.StartSched()
 }
 
 // Collect snapshots every counter into a Result.

@@ -35,6 +35,7 @@ func (k *Kernel) Sync() error {
 // producer-side "publish" operation that makes a write visible to
 // readers in other address spaces without a consistency fault.
 func (k *Kernel) FlushPage(p *Process, vpn arch.VPN) error {
+	k.preempt(p)
 	k.opEnter()
 	defer k.opExit()
 	if err := k.Syscall(p); err != nil {
@@ -56,6 +57,7 @@ func (k *Kernel) FlushPage(p *Process, vpn arch.VPN) error {
 // dirty page degrades to a flush (see pmap.PurgeUser): discarding the
 // only copy of dirtied data would hand the next reader a stale value.
 func (k *Kernel) PurgePage(p *Process, vpn arch.VPN) error {
+	k.preempt(p)
 	k.opEnter()
 	defer k.opExit()
 	if err := k.Syscall(p); err != nil {

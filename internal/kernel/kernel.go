@@ -63,6 +63,9 @@ type Config struct {
 	Machine machine.Config
 	FS      fs.Config
 	Policy  policy.Config
+	// Sched enables deterministic preemption on a multiprocessor (see
+	// sched.go). The zero value — and any uniprocessor — disables it.
+	Sched SchedConfig
 	// ReservedFrames are never allocated (kernel image).
 	ReservedFrames int
 }
@@ -96,6 +99,11 @@ type Kernel struct {
 	procs   map[int]*Process
 	nextPID int
 	seq     uint64
+
+	// sched, when non-nil, preempts processes at operation boundaries
+	// (see sched.go). Created disarmed; the harness arms it at the
+	// start of the measured phase via StartSched.
+	sched *sched
 
 	// interrupt, when installed, is polled at every syscall and
 	// process-operation boundary; a non-nil return aborts the current
@@ -150,6 +158,9 @@ func New(cfg Config) (*Kernel, error) {
 		Server:  unixserver.New(sys, m, feat),
 		procs:   make(map[int]*Process),
 		nextPID: 1,
+	}
+	if cfg.Sched.Quantum > 0 && m.NumCPUs() > 1 {
+		k.sched = &sched{quantum: cfg.Sched.Quantum, rng: *sim.NewRand(cfg.Sched.Seed)}
 	}
 	return k, nil
 }
@@ -244,6 +255,7 @@ func (k *Kernel) Spawn(textFile *fs.File, textPages, heapPages uint64) (*Process
 // checks every transfer); only the Unix-visible inheritance of
 // COW-modified pages across second-generation forks is simplified.
 func (k *Kernel) Fork(parent *Process) (*Process, error) {
+	k.preempt(parent)
 	k.opEnter()
 	defer k.opExit()
 	if err := k.interrupted(); err != nil {
@@ -283,6 +295,7 @@ func (k *Kernel) Fork(parent *Process) (*Process, error) {
 // Exit tears a process down, returning its pages (lazily or eagerly per
 // policy) to the free list.
 func (k *Kernel) Exit(p *Process) {
+	k.preempt(p)
 	k.opEnter()
 	defer k.opExit()
 	k.M.SetCurrentCPU(p.CPU)

@@ -1,0 +1,208 @@
+package kernel
+
+import (
+	"testing"
+
+	"vcache/internal/policy"
+)
+
+// bootMP boots a kernel on an n-CPU machine with the given scheduler
+// configuration (zero quantum = no scheduler).
+func bootMP(t *testing.T, cfg policy.Config, cpus int, sched SchedConfig) *Kernel {
+	t.Helper()
+	kc := DefaultConfig(cfg)
+	kc.Machine.CPUs = cpus
+	kc.Sched = sched
+	k, err := New(kc)
+	if err != nil {
+		t.Fatalf("boot %s on %d CPUs: %v", cfg.Label, cpus, err)
+	}
+	return k
+}
+
+// TestMigrateOutOfRange pins the kernel-boundary contract: an invalid
+// CPU index is an error from Migrate, never a silent clamp (the machine
+// panics on out-of-range SetCurrentCPU precisely so that only the
+// kernel validates).
+func TestMigrateOutOfRange(t *testing.T) {
+	k := bootMP(t, policy.New(), 2, SchedConfig{})
+	p, err := k.Spawn(nil, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, cur := p.CPU, k.M.CurrentCPU()
+	for _, cpu := range []int{-1, 2, 99} {
+		if err := k.Migrate(p, cpu); err == nil {
+			t.Errorf("Migrate(p, %d) on a 2-CPU machine succeeded", cpu)
+		}
+	}
+	if p.CPU != home || k.M.CurrentCPU() != cur {
+		t.Errorf("failed migrations moved state: p.CPU %d->%d, current %d->%d",
+			home, p.CPU, cur, k.M.CurrentCPU())
+	}
+}
+
+// TestMigrateMovesProcess: a migration re-homes the process, switches
+// the current CPU, and shoots the space's translations out of the old
+// CPU's TLB; a same-CPU migration is a no-op.
+func TestMigrateMovesProcess(t *testing.T) {
+	k := bootMP(t, policy.New(), 2, SchedConfig{})
+	p, err := k.Spawn(nil, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.TouchHeap(p, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	target := 1 - p.CPU
+	cyclesBefore := k.M.Clock.Cycles()
+	if err := k.Migrate(p, target); err != nil {
+		t.Fatal(err)
+	}
+	if p.CPU != target {
+		t.Errorf("p.CPU = %d, want %d", p.CPU, target)
+	}
+	if k.M.CurrentCPU() != target {
+		t.Errorf("CurrentCPU = %d, want %d", k.M.CurrentCPU(), target)
+	}
+	if k.M.Clock.Cycles() <= cyclesBefore {
+		t.Error("migration charged no cycles (shootdown trap missing)")
+	}
+	// Same-CPU migration: no error, no charge.
+	cyclesBefore = k.M.Clock.Cycles()
+	if err := k.Migrate(p, target); err != nil {
+		t.Fatal(err)
+	}
+	if k.M.Clock.Cycles() != cyclesBefore {
+		t.Error("same-CPU migration charged cycles")
+	}
+	// The process keeps working from its new home.
+	if err := k.ReadHeap(p, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	if k.M.CurrentCPU() != target {
+		t.Errorf("after ReadHeap, CurrentCPU = %d, want %d", k.M.CurrentCPU(), target)
+	}
+	if v := k.M.Oracle.Violations(); len(v) != 0 {
+		t.Fatalf("%d stale transfers across migration", len(v))
+	}
+}
+
+// TestSchedDisarmedUntilStart: a kernel built with a scheduler must not
+// preempt before StartSched — Setup phases and replay runs build state
+// without a single migration — and must preempt after.
+func TestSchedDisarmedUntilStart(t *testing.T) {
+	k := bootMP(t, policy.New(), 4, SchedConfig{Quantum: 1, Seed: 42})
+	p, err := k.Spawn(nil, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := p.CPU
+	for i := 0; i < 50; i++ {
+		if err := k.TouchHeap(p, uint64(i%8), 16); err != nil {
+			t.Fatal(err)
+		}
+		if p.CPU != home {
+			t.Fatalf("op %d migrated the process before StartSched", i)
+		}
+	}
+	k.StartSched()
+	moved := false
+	for i := 0; i < 50 && !moved; i++ {
+		if err := k.TouchHeap(p, uint64(i%8), 16); err != nil {
+			t.Fatal(err)
+		}
+		moved = p.CPU != home
+	}
+	if !moved {
+		t.Error("quantum-1 scheduler never migrated in 50 ops")
+	}
+}
+
+// TestSchedDeterministic: two kernels with the same configuration and
+// seed, driven by the same op sequence, preempt identically — same
+// final CPU assignments, same cycle count.
+func TestSchedDeterministic(t *testing.T) {
+	run := func() (*Kernel, *Process, *Process) {
+		k := bootMP(t, policy.New(), 4, SchedConfig{Quantum: 5000, Seed: 9})
+		k.StartSched()
+		p1, err := k.Spawn(nil, 0, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := k.Spawn(nil, 0, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			if err := k.TouchHeap(p1, uint64(i%8), 32); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.ReadHeap(p2, uint64(i%8), 32); err != nil {
+				t.Fatal(err)
+			}
+			if i%5 == 0 {
+				if _, err := k.SendHeapPage(p1, uint64(i%8), p2); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return k, p1, p2
+	}
+	ka, a1, a2 := run()
+	kb, b1, b2 := run()
+	if a1.CPU != b1.CPU || a2.CPU != b2.CPU {
+		t.Errorf("CPU assignments diverged: (%d,%d) vs (%d,%d)", a1.CPU, a2.CPU, b1.CPU, b2.CPU)
+	}
+	if ka.M.Clock.Cycles() != kb.M.Clock.Cycles() {
+		t.Errorf("cycles diverged: %d vs %d", ka.M.Clock.Cycles(), kb.M.Clock.Cycles())
+	}
+}
+
+// TestOpTailRunsOnProcessCPU is the regression test for the syscall
+// tail-attribution bug: every op must return with the current CPU set
+// to the invoking process's home, so kernel work after the server
+// transaction — buffer copies, FS bookkeeping — is charged where the
+// process actually runs. With an aggressive quantum the process
+// migrates between ops; a restore bound to a stale CPU read shows up
+// here as a mismatch.
+func TestOpTailRunsOnProcessCPU(t *testing.T) {
+	k := bootMP(t, policy.New(), 4, SchedConfig{Quantum: 1, Seed: 5})
+	k.StartSched()
+	p, err := k.Spawn(nil, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := k.CreateFile(p, "tmp/attrib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(op string) {
+		t.Helper()
+		if got := k.M.CurrentCPU(); got != p.CPU {
+			t.Fatalf("after %s: current CPU %d, process home %d", op, got, p.CPU)
+		}
+	}
+	check("create")
+	for i := 0; i < 30; i++ {
+		if err := k.TouchHeap(p, uint64(i%4), 16); err != nil {
+			t.Fatal(err)
+		}
+		check("touch")
+		if err := k.WriteFilePage(p, f, uint64(i%2), uint64(i%4)); err != nil {
+			t.Fatal(err)
+		}
+		check("writef")
+		if err := k.ReadFilePage(p, f, uint64(i%2), uint64(i%4)); err != nil {
+			t.Fatal(err)
+		}
+		check("readf")
+		if err := k.Syscall(p); err != nil {
+			t.Fatal(err)
+		}
+		check("syscall")
+	}
+	if v := k.M.Oracle.Violations(); len(v) != 0 {
+		t.Fatalf("%d stale transfers", len(v))
+	}
+}

@@ -29,6 +29,10 @@ func (k *Kernel) Clone() *Kernel {
 		nextPID: k.nextPID,
 		seq:     k.seq,
 	}
+	if k.sched != nil {
+		s2 := *k.sched
+		k2.sched = &s2
+	}
 	// Text pagers hold the kernel and a file; rebind them to the clone's.
 	// Anything else (test fakes) is assumed stateless and shared.
 	rebind := func(p vm.Pager) vm.Pager {

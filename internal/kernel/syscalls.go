@@ -24,13 +24,19 @@ const (
 // Syscall performs just the server transaction of a system call (run
 // from the calling process' CPU; the server side runs on the server's).
 func (k *Kernel) Syscall(p *Process) error {
+	k.preempt(p)
 	k.opEnter()
 	defer k.opExit()
 	if err := k.interrupted(); err != nil {
 		return err
 	}
 	k.M.SetCurrentCPU(p.CPU)
-	defer k.M.SetCurrentCPU(p.CPU) // kernel work after the transaction runs here
+	// Kernel work after the transaction is charged to the CPU the
+	// process is on when that work runs — read p.CPU at return time,
+	// not at entry: `defer k.M.SetCurrentCPU(p.CPU)` froze the entering
+	// CPU, silently misattributing every caller's post-transaction tail
+	// whenever the process had been migrated in between.
+	defer func() { k.M.SetCurrentCPU(p.CPU) }()
 	if err := k.Server.Transaction(p.Space, syscallReqWords, syscallRespWords); err != nil {
 		return err
 	}
@@ -40,6 +46,7 @@ func (k *Kernel) Syscall(p *Process) error {
 
 // CreateFile creates a file on behalf of a process.
 func (k *Kernel) CreateFile(p *Process, name string) (*fs.File, error) {
+	k.preempt(p)
 	k.opEnter()
 	defer k.opExit()
 	if err := k.Syscall(p); err != nil {
@@ -55,6 +62,7 @@ func (k *Kernel) CreateFile(p *Process, name string) (*fs.File, error) {
 
 // OpenFile opens an existing file on behalf of a process.
 func (k *Kernel) OpenFile(p *Process, name string) (*fs.File, error) {
+	k.preempt(p)
 	k.opEnter()
 	defer k.opExit()
 	if err := k.Syscall(p); err != nil {
@@ -70,6 +78,7 @@ func (k *Kernel) OpenFile(p *Process, name string) (*fs.File, error) {
 
 // RemoveFile unlinks a file on behalf of a process.
 func (k *Kernel) RemoveFile(p *Process, name string) error {
+	k.preempt(p)
 	k.opEnter()
 	defer k.opExit()
 	if err := k.Syscall(p); err != nil {
@@ -88,6 +97,7 @@ func (k *Kernel) RemoveFile(p *Process, name string) error {
 // buffer's kernel mapping into the user page through the user's own
 // mapping.
 func (k *Kernel) ReadFilePage(p *Process, f *fs.File, page, heapPage uint64) error {
+	k.preempt(p)
 	k.opEnter()
 	defer k.opExit()
 	if err := k.Syscall(p); err != nil {
@@ -115,6 +125,7 @@ func (k *Kernel) ReadFilePage(p *Process, f *fs.File, page, heapPage uint64) err
 // of file f — the write(2) path: the data lands in a buffer and reaches
 // the disk later via write-behind.
 func (k *Kernel) WriteFilePage(p *Process, f *fs.File, page, heapPage uint64) error {
+	k.preempt(p)
 	k.opEnter()
 	defer k.opExit()
 	if err := k.Syscall(p); err != nil {
@@ -141,6 +152,7 @@ func (k *Kernel) WriteFilePage(p *Process, f *fs.File, page, heapPage uint64) er
 // TouchHeap writes `stride`-spaced words of a heap page (faulting it in,
 // zero-filled, on first touch).
 func (k *Kernel) TouchHeap(p *Process, page uint64, words int) error {
+	k.preempt(p)
 	k.opEnter()
 	defer k.opExit()
 	if err := k.interrupted(); err != nil {
@@ -169,6 +181,7 @@ func (k *Kernel) TouchHeap(p *Process, page uint64, words int) error {
 
 // ReadHeap reads `words` evenly spaced words of a heap page.
 func (k *Kernel) ReadHeap(p *Process, page uint64, words int) error {
+	k.preempt(p)
 	k.opEnter()
 	defer k.opExit()
 	if err := k.interrupted(); err != nil {
@@ -196,6 +209,7 @@ func (k *Kernel) ReadHeap(p *Process, page uint64, words int) error {
 // instructions from each text page, faulting the pages in (data-to-
 // instruction-space copies) on first touch.
 func (k *Kernel) RunText(p *Process, words int) error {
+	k.preempt(p)
 	k.opEnter()
 	defer k.opExit()
 	if err := k.interrupted(); err != nil {
@@ -231,6 +245,7 @@ func (k *Kernel) RunText(p *Process, words int) error {
 // with the sender's under the align-pages policy). It returns the
 // receiver-side VPN.
 func (k *Kernel) SendHeapPage(from *Process, page uint64, to *Process) (arch.VPN, error) {
+	k.preempt(from)
 	k.opEnter()
 	defer k.opExit()
 	if err := k.Syscall(from); err != nil {
@@ -250,6 +265,7 @@ func (k *Kernel) SendHeapPage(from *Process, page uint64, to *Process) (arch.VPN
 // so under unaligned placement every write on one side costs the other
 // a consistency fault. It returns the receiver-side VPN.
 func (k *Kernel) SharePage(from *Process, page uint64, to *Process) (arch.VPN, error) {
+	k.preempt(from)
 	k.opEnter()
 	defer k.opExit()
 	if err := k.Syscall(from); err != nil {
@@ -274,6 +290,7 @@ func (k *Kernel) SharePage(from *Process, page uint64, to *Process) (arch.VPN, e
 // process (used after IPC transfers, where the receiver address was
 // kernel-chosen).
 func (k *Kernel) ReadPage(p *Process, vpn arch.VPN, words int) error {
+	k.preempt(p)
 	k.opEnter()
 	defer k.opExit()
 	if err := k.interrupted(); err != nil {
@@ -302,6 +319,7 @@ func (k *Kernel) ReadPage(p *Process, vpn arch.VPN, words int) error {
 // WritePage writes `words` evenly spaced words to an arbitrary mapped
 // page of a process.
 func (k *Kernel) WritePage(p *Process, vpn arch.VPN, words int) error {
+	k.preempt(p)
 	k.opEnter()
 	defer k.opExit()
 	if err := k.interrupted(); err != nil {
@@ -360,6 +378,7 @@ func (k *Kernel) WriteFileContent(f *fs.File, pages uint64) error {
 // access to the page takes a consistency fault to purge the now-stale
 // cached copy.
 func (k *Kernel) ReadFilePageDirect(p *Process, f *fs.File, page, heapPage uint64) error {
+	k.preempt(p)
 	k.opEnter()
 	defer k.opExit()
 	if err := k.Syscall(p); err != nil {
@@ -391,6 +410,7 @@ func (k *Kernel) ReadFilePageDirect(p *Process, f *fs.File, page, heapPage uint6
 // addresses do not align, exercises the read-only alias machinery.
 // It returns the first mapped virtual page.
 func (k *Kernel) MapFile(p *Process, f *fs.File, obj *vm.Object, pages uint64) (arch.VPN, *vm.Object, error) {
+	k.preempt(p)
 	k.opEnter()
 	defer k.opExit()
 	if err := k.Syscall(p); err != nil {

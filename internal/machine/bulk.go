@@ -18,16 +18,61 @@ import (
 //
 // The result is observation-identical to the word loop — same Result
 // bytes, same cache/TLB statistics, same memory images — whenever the
-// guards hold: no oracle (it records every word), a single CPU (snoops
-// fire per word), a write-back virtually indexed data cache (see
-// cache.CanBulk), and a cacheable translation. When a guard fails the
-// methods return the number of words already performed (0 or 1) and the
-// caller finishes with the reference loop, so oracle mode, traced runs,
-// multiprocessor runs, and the cache variants keep the exact slow path.
+// guards hold: no oracle (it records every word), a write-back virtually
+// indexed data cache (see cache.CanBulk), and a cacheable translation.
+// When a guard fails the methods return the number of words already
+// performed (0 or 1) and the caller finishes with the reference loop, so
+// oracle mode, traced runs, and the cache variants keep the exact slow
+// path.
+//
+// On a multiprocessor the reference loop snoops peers once per word;
+// the bulk paths hoist that to once per *line* (snoopTail). That is
+// exact, not approximate: SnoopRead and SnoopInvalidate are idempotent
+// per line — the first probe writes back (and, for invalidate, drops)
+// the peer's copy and the remaining wpl-1 probes of the loop find the
+// line absent or clean and do nothing, charge nothing, and count
+// nothing. Within one page no two words share a set with different
+// tags (the in-page lines occupy consecutive sets of one cache page),
+// and the current CPU's own fills between snoops cannot re-populate a
+// *peer* cache, so probe order across lines is immaterial.
 
 // canBulkData reports whether the machine-level bulk data paths apply.
 func (m *Machine) canBulkData() bool {
-	return !m.noFast && m.Oracle == nil && len(m.cpus) == 1 && m.cpus[0].DCache.CanBulk()
+	return !m.noFast && m.Oracle == nil && m.cpus[0].DCache.CanBulk()
+}
+
+// snoopTail performs the per-line peer snoops for the tail of a bulk
+// page operation: every line of the page at (va, pa) except line 0,
+// whose snoop the first word's full-pipeline access already fired.
+// invalidate selects write ownership (peers write back and drop) versus
+// read sharing (peers write back dirty data, keep it clean). Hoisting
+// the snoops ahead of the tail's fills and victim write-backs cannot
+// reorder two writes to one memory line: hardware coherence keeps at
+// most one dirty *aligned* copy system-wide, so an address a peer snoop
+// writes back is never also dirty in the current cache, and unaligned
+// dirty aliases are invisible to the (set, tag) probe in either order.
+func (m *Machine) snoopTail(va arch.VA, pa arch.PA, words uint64, invalidate bool) {
+	if len(m.cpus) == 1 {
+		return
+	}
+	cur := m.cpu().DCache
+	wpl := m.Geom.WordsPerLine()
+	for w := wpl; w < words; w += wpl {
+		lva := va + arch.VA(w*arch.WordSize)
+		lpa := pa + arch.PA(w*arch.WordSize)
+		si := cur.AccessIndex(lva, lpa)
+		tag := cur.Tag(lpa)
+		for i := range m.cpus {
+			if i == m.current {
+				continue
+			}
+			if invalidate {
+				m.cpus[i].DCache.SnoopInvalidate(si, tag)
+			} else {
+				m.cpus[i].DCache.SnoopRead(si, tag)
+			}
+		}
+	}
 }
 
 // BulkZeroPage zero-fills the page mapped at (space, base), base
@@ -52,7 +97,9 @@ func (m *Machine) BulkZeroPage(space arch.SpaceID, base arch.VA) (uint64, error)
 	rest := words - 1
 	m.stats.Writes += rest
 	cpu.TLB.TouchRepeat(space, vpn, rest)
-	cpu.DCache.BulkZeroTail(base, m.Geom.Translate(base, e.PFN), words)
+	pa := m.Geom.Translate(base, e.PFN)
+	m.snoopTail(base, pa, words, true)
+	cpu.DCache.BulkZeroTail(base, pa, words)
 	return words, nil
 }
 
@@ -99,7 +146,14 @@ func (m *Machine) BulkCopyPage(space arch.SpaceID, sbase, dbase arch.VA) (uint64
 	// everything else) as the interleaved stamps they replace.
 	cpu.TLB.TouchRepeat(space, svpn, rest)
 	cpu.TLB.TouchRepeat(space, dvpn, rest)
-	cpu.DCache.BulkCopyTail(sbase, m.Geom.Translate(sbase, se.PFN),
-		dbase, m.Geom.Translate(dbase, de.PFN), words)
+	spa := m.Geom.Translate(sbase, se.PFN)
+	dpa := m.Geom.Translate(dbase, de.PFN)
+	// Peer snoops in the reference loop's per-line order: the source
+	// read's sharing snoop, then the destination write's ownership
+	// snoop (source and destination never share a set — the color
+	// guard above — so the two passes touch disjoint peer lines).
+	m.snoopTail(sbase, spa, words, false)
+	m.snoopTail(dbase, dpa, words, true)
+	cpu.DCache.BulkCopyTail(sbase, spa, dbase, dpa, words)
 	return words, nil
 }

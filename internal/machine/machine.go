@@ -18,6 +18,7 @@ package machine
 
 import (
 	"fmt"
+	"sync"
 
 	"vcache/internal/arch"
 	"vcache/internal/cache"
@@ -166,6 +167,10 @@ type Machine struct {
 	// benchmarking the overhead they remove and for identity tests that
 	// pit the fast paths against the word-at-a-time reference.
 	noFast bool
+
+	// parallel runs broadcast maintenance stages on one goroutine per
+	// CPU (Config.ParallelBroadcast with CPUs > 1).
+	parallel bool
 }
 
 // Config sizes a machine.
@@ -192,6 +197,13 @@ type Config struct {
 	// paths). The fast paths are observation-identical, so this exists
 	// only for benchmarking them and for the identity tests proving it.
 	DisableFastPaths bool
+	// ParallelBroadcast runs the per-CPU halves of the broadcast
+	// maintenance operations (FlushDPage, PurgeDPage, PurgeIPage) on one
+	// goroutine per CPU, with the shared-state effects staged and applied
+	// serially in CPU index order after a barrier. Byte-identical to the
+	// serial loop (see cache.Staged); exists so multi-CPU simulations can
+	// use real host parallelism without giving up determinism.
+	ParallelBroadcast bool
 }
 
 // DefaultConfig returns an HP 720-shaped machine with the oracle enabled.
@@ -234,6 +246,7 @@ func New(cfg Config) (*Machine, error) {
 		Clock:      clock,
 		maxRetries: 16,
 		noFast:     cfg.DisableFastPaths,
+		parallel:   cfg.ParallelBroadcast && cfg.CPUs > 1,
 	}
 	for i := 0; i < cfg.CPUs; i++ {
 		dc, err := cache.New(cache.Config{
@@ -340,10 +353,13 @@ func (m *Machine) Stats() Stats { return m.stats }
 func (m *Machine) NumCPUs() int { return len(m.cpus) }
 
 // SetCurrentCPU selects which processor subsequent accesses run on (the
-// kernel's context switch). Out-of-range values are clamped.
+// kernel's context switch). An out-of-range index panics: silently
+// clamping to CPU 0 used to mask scheduler bugs (work charged to the
+// wrong processor with no symptom). The kernel validates indices at its
+// boundary (Migrate), so a panic here is always a simulator bug.
 func (m *Machine) SetCurrentCPU(i int) {
 	if i < 0 || i >= len(m.cpus) {
-		i = 0
+		panic(fmt.Sprintf("machine: SetCurrentCPU(%d) out of range [0,%d)", i, len(m.cpus)))
 	}
 	m.current = i
 }
@@ -391,33 +407,82 @@ func (m *Machine) snoopInvalidate(va arch.VA, pa arch.PA) {
 // shootdowns a multiprocessor kernel performs; on one CPU they reduce to
 // the plain operations).
 
+// broadcast runs one staged maintenance operation on every CPU's cache
+// (pick selects data or instruction cache). The serial form stages and
+// applies per CPU in index order — exactly the old per-CPU loop. The
+// parallel form (Config.ParallelBroadcast) stages concurrently, one
+// goroutine per CPU, then applies serially in CPU index order after the
+// barrier; cache.Staged's invariants make the two forms byte-identical,
+// so ParallelBroadcast never appears in a result or a snapshot key's
+// meaningful state.
+func (m *Machine) broadcast(pick func(*CPU) *cache.Cache, stage func(*cache.Cache, *cache.Staged)) {
+	if !m.parallel {
+		var st cache.Staged
+		for i := range m.cpus {
+			stage(pick(&m.cpus[i]), &st)
+			st.Apply(m.Mem, m.Clock)
+		}
+		return
+	}
+	staged := make([]cache.Staged, len(m.cpus))
+	var wg sync.WaitGroup
+	for i := range m.cpus {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stage(pick(&m.cpus[i]), &staged[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range m.cpus {
+		staged[i].Apply(m.Mem, m.Clock)
+	}
+}
+
+func dcacheOf(c *CPU) *cache.Cache { return c.DCache }
+func icacheOf(c *CPU) *cache.Cache { return c.ICache }
+
 // FlushDPage flushes frame f's lines from data-cache page cp on every CPU.
 func (m *Machine) FlushDPage(cp arch.CachePage, f arch.PFN) {
-	for i := range m.cpus {
-		m.cpus[i].DCache.FlushPage(cp, f)
-	}
+	m.broadcast(dcacheOf, func(c *cache.Cache, st *cache.Staged) {
+		c.FlushPageStage(cp, f, st)
+	})
 }
 
 // PurgeDPage purges frame f's lines from data-cache page cp on every CPU.
 func (m *Machine) PurgeDPage(cp arch.CachePage, f arch.PFN) {
-	for i := range m.cpus {
-		m.cpus[i].DCache.PurgePage(cp, f)
-	}
+	m.broadcast(dcacheOf, func(c *cache.Cache, st *cache.Staged) {
+		c.PurgePageStage(cp, f, st)
+	})
 }
 
 // PurgeIPage purges frame f's lines from instruction-cache page cp on
 // every CPU.
 func (m *Machine) PurgeIPage(cp arch.CachePage, f arch.PFN) {
-	for i := range m.cpus {
-		m.cpus[i].ICache.PurgePage(cp, f)
-	}
+	m.broadcast(icacheOf, func(c *cache.Cache, st *cache.Staged) {
+		c.PurgePageStage(cp, f, st)
+	})
 }
 
-// InvalidateTLB drops (space, vpn) from every CPU's TLB.
+// InvalidateTLB drops (space, vpn) from every CPU's TLB. Kept serial
+// even under ParallelBroadcast: the per-TLB work is a map delete,
+// far below the grain where a goroutine pays for itself, and it touches
+// no shared state to stage.
 func (m *Machine) InvalidateTLB(space arch.SpaceID, vpn arch.VPN) {
 	for i := range m.cpus {
 		m.cpus[i].TLB.InvalidatePage(space, vpn)
 	}
+}
+
+// ShootdownSpace drops every translation of the given address space from
+// CPU i's TLB — the migration shootdown the kernel sends to the CPU a
+// process is leaving. The single IPI is charged like any other trap.
+func (m *Machine) ShootdownSpace(i int, space arch.SpaceID) {
+	if i < 0 || i >= len(m.cpus) {
+		panic(fmt.Sprintf("machine: ShootdownSpace(%d) out of range [0,%d)", i, len(m.cpus)))
+	}
+	m.cpus[i].TLB.InvalidateSpace(space)
+	m.Clock.Charge(sim.CatFault, m.Clock.Timing().FaultTrap)
 }
 
 // translate resolves (space, va) for the given access, faulting to the

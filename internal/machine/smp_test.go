@@ -154,13 +154,116 @@ func TestBroadcastOps(t *testing.T) {
 	}
 }
 
-func TestSetCurrentCPUClamps(t *testing.T) {
-	m, _ := newSMP(t, 2)
-	m.SetCurrentCPU(99)
-	if m.CurrentCPU() != 0 {
-		t.Error("out-of-range CPU not clamped")
+// TestSMPBulkFastPathExact proves the multiprocessor bulk paths both
+// ENGAGE (BulkZeroPage performs the whole page, rather than falling
+// back because CPUs > 1) and stay exact: the hoisted per-line peer
+// snoops must leave every cache, the memory image, the statistics and
+// the cycle count identical to the word-at-a-time reference loop run
+// on a twin machine.
+func TestSMPBulkFastPathExact(t *testing.T) {
+	build := func(noFast bool) (*Machine, *tableWalker) {
+		cfg := DefaultConfig()
+		cfg.Frames = 64
+		cfg.CPUs = 2
+		cfg.WithOracle = false // the oracle correctly forces the slow path
+		cfg.DisableFastPaths = noFast
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &tableWalker{entries: map[arch.VPN]tlb.Entry{
+			5: {PFN: 7, Prot: arch.ProtReadWrite},
+		}}
+		m.SetWalker(w)
+		return m, w
 	}
+	wordVA := func(m *Machine, word uint64) arch.VA {
+		return m.Geom.PageBase(5) + arch.VA(word*arch.WordSize)
+	}
+	// Dirty two lines on CPU 1, then zero the page from CPU 0: line 0's
+	// peer copy dies via the first word's full pipeline, line 1's via
+	// the hoisted tail snoop.
+	dirty := func(m *Machine) {
+		m.SetCurrentCPU(1)
+		if err := m.Write(0, wordVA(m, 0), 11); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Write(0, wordVA(m, m.Geom.WordsPerLine()), 22); err != nil {
+			t.Fatal(err)
+		}
+		m.SetCurrentCPU(0)
+	}
+
+	fast, _ := build(false)
+	dirty(fast)
+	n, err := fast.BulkZeroPage(0, wordVA(fast, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != fast.Geom.WordsPerPage() {
+		t.Fatalf("bulk fast path performed %d of %d words — did not engage on 2 CPUs", n, fast.Geom.WordsPerPage())
+	}
+	if p, _ := fast.cpus[1].DCache.Present(fast.Geom.FrameBase(7)); p {
+		t.Error("CPU 1's copy survived the bulk zero's peer snoops")
+	}
+
+	slow, _ := build(true)
+	dirty(slow)
+	words := slow.Geom.WordsPerPage()
+	for i := uint64(0); i < words; i++ {
+		if err := slow.Write(0, wordVA(slow, i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, m := range []*Machine{fast, slow} {
+		m.SetCurrentCPU(1)
+		for _, w := range []uint64{0, m.Geom.WordsPerLine()} {
+			v, err := m.Read(0, wordVA(m, w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != 0 {
+				t.Fatalf("word %d = %d after page zero", w, v)
+			}
+		}
+	}
+	if fast.Clock.Cycles() != slow.Clock.Cycles() {
+		t.Errorf("cycles: fast %d, reference %d", fast.Clock.Cycles(), slow.Clock.Cycles())
+	}
+	if fast.stats != slow.stats {
+		t.Errorf("machine stats: fast %+v, reference %+v", fast.stats, slow.stats)
+	}
+	for i := range fast.cpus {
+		if fast.cpus[i].DCache.Stats() != slow.cpus[i].DCache.Stats() {
+			t.Errorf("CPU %d dcache stats: fast %+v, reference %+v",
+				i, fast.cpus[i].DCache.Stats(), slow.cpus[i].DCache.Stats())
+		}
+		if fast.cpus[i].TLB.Stats() != slow.cpus[i].TLB.Stats() {
+			t.Errorf("CPU %d tlb stats: fast %+v, reference %+v",
+				i, fast.cpus[i].TLB.Stats(), slow.cpus[i].TLB.Stats())
+		}
+	}
+}
+
+func TestSetCurrentCPUPanicsOutOfRange(t *testing.T) {
+	m, _ := newSMP(t, 2)
 	if m.NumCPUs() != 2 {
-		t.Errorf("NumCPUs = %d", m.NumCPUs())
+		t.Fatalf("NumCPUs = %d", m.NumCPUs())
+	}
+	for _, i := range []int{-1, 2, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetCurrentCPU(%d) did not panic", i)
+				}
+			}()
+			m.SetCurrentCPU(i)
+		}()
+	}
+	// In-range selection still works after the panics.
+	m.SetCurrentCPU(1)
+	if m.CurrentCPU() != 1 {
+		t.Errorf("CurrentCPU = %d, want 1", m.CurrentCPU())
 	}
 }

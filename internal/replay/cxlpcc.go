@@ -134,3 +134,15 @@ func FromNotes(name, config string, notes []string) (*Program, error) {
 	}
 	return pr, nil
 }
+
+// FromNotesMP is FromNotes for a multiprocessor origin: the program's
+// kernel is built with the given CPU count, so "sched" ops can migrate
+// processes across real per-CPU caches and TLBs.
+func FromNotesMP(name, config string, cpus int, notes []string) (*Program, error) {
+	pr, err := FromNotes(name, config, notes)
+	if err != nil {
+		return nil, err
+	}
+	pr.Origin.CPUs = cpus
+	return pr, nil
+}

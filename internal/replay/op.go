@@ -57,6 +57,7 @@ var verbKeys = map[string][]string{
 	"sync":    {},
 	"flushp":  {"pid", "vpn"},
 	"purgep":  {"pid", "vpn"},
+	"sched":   {"pid", "cpu"},
 }
 
 // ParseNote parses one op-event note. The grammar is strict: an

@@ -455,6 +455,16 @@ func (x *executor) exec(op Op) error {
 			return k.FlushPage(p, vpn)
 		}
 		return k.PurgePage(p, vpn)
+	case "sched":
+		p, _, err := x.proc(op, "pid")
+		if err != nil {
+			return err
+		}
+		cpu, err := op.Int("cpu")
+		if err != nil {
+			return err
+		}
+		return k.Migrate(p, cpu)
 	default:
 		return fmt.Errorf("unhandled verb %q", op.Verb)
 	}

@@ -2,10 +2,12 @@ package replay
 
 import (
 	"context"
+	"fmt"
 	"reflect"
 	"testing"
 
 	"vcache/internal/harness"
+	"vcache/internal/kernel"
 	"vcache/internal/policy"
 	"vcache/internal/trace"
 	"vcache/internal/workload"
@@ -103,6 +105,42 @@ func TestClosure(t *testing.T) {
 					Workload: w,
 					Config:   cfg,
 					Scale:    workload.Small(),
+					TraceN:   1 << 16,
+				}
+				if err := VerifyClosure(context.Background(), spec); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestClosureMP proves the closure holds on a multiprocessor with the
+// deterministic preemption scheduler armed: migrations recorded as
+// "sched" ops replay through the same Migrate path on a kernel with no
+// scheduler of its own, so the replayed run reproduces the original's
+// Result and trace exactly — including every cross-CPU consistency
+// event the migrations provoked.
+func TestClosureMP(t *testing.T) {
+	cpuCounts := []int{2, 4}
+	if testing.Short() {
+		cpuCounts = []int{4}
+	}
+	for _, cpus := range cpuCounts {
+		for _, cfg := range []policy.Config{policy.Old(), policy.New()} {
+			t.Run(fmt.Sprintf("%s/%dcpu", cfg.Label, cpus), func(t *testing.T) {
+				kc := kernel.DefaultConfig(cfg)
+				kc.Machine.CPUs = cpus
+				kc.Sched = kernel.SchedConfig{Quantum: 20000, Seed: 7}
+				w, err := workload.ByName("afs-bench")
+				if err != nil {
+					t.Fatal(err)
+				}
+				spec := harness.Spec{
+					Workload: w,
+					Config:   cfg,
+					Scale:    workload.Small(),
+					Kernel:   &kc,
 					TraceN:   1 << 16,
 				}
 				if err := VerifyClosure(context.Background(), spec); err != nil {

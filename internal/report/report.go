@@ -183,6 +183,49 @@ func Table4(benchNames []string, results [][]workload.Result) string {
 	return b.String()
 }
 
+// TableMP renders the multiprocessor sweep: one benchmark under every
+// configuration A–F at each simulated CPU count, with deterministic
+// quantum preemption migrating processes between CPUs (uniprocessor
+// rows run schedulerless and match Table 4 exactly). results[c][k] is
+// CPU count c under configuration k.
+func TableMP(bench string, cpuCounts []int, results [][]workload.Result) string {
+	var b strings.Builder
+	b.WriteString("Table MP: " + bench + " across simulated CPU counts under\n")
+	b.WriteString("cumulative consistency-management configurations (deterministic\n")
+	b.WriteString("quantum preemption; 1-CPU rows are the Table 4 baseline)\n\n")
+	for ci, cpus := range cpuCounts {
+		fmt.Fprintf(&b, "%s, %d CPU(s)\n", bench, cpus)
+		row(&b, fmt.Sprintf("  %-24s", "configuration"),
+			fmt.Sprintf("%8s", "elapsed"),
+			fmt.Sprintf("%7s", "mapping"), fmt.Sprintf("%7s", "consis"), fmt.Sprintf("%7s", "modify"),
+			fmt.Sprintf("%14s", "dcache flush"), fmt.Sprintf("%14s", "dcache purge"),
+			fmt.Sprintf("%14s", "icache purge"),
+			fmt.Sprintf("%7s", "DMA-rd"), fmt.Sprintf("%7s", "DMA-wr"), fmt.Sprintf("%6s", "d→i"))
+		row(&b, fmt.Sprintf("  %-24s", ""),
+			fmt.Sprintf("%8s", "(s)"),
+			fmt.Sprintf("%7s", "faults"), fmt.Sprintf("%7s", "faults"), fmt.Sprintf("%7s", "faults"),
+			fmt.Sprintf("%7s %6s", "count", "cyc/op"), fmt.Sprintf("%7s %6s", "count", "cyc/op"),
+			fmt.Sprintf("%7s %6s", "count", "cyc/op"),
+			fmt.Sprintf("%7s", "flush"), fmt.Sprintf("%7s", "purge"), fmt.Sprintf("%6s", "copy"))
+		for _, r := range results[ci] {
+			s := r.PM
+			row(&b, fmt.Sprintf("  %-1s %-22.22s", r.Config.Label, r.Config.Name),
+				fmt.Sprintf("%8.2f", r.Seconds),
+				fmt.Sprintf("%7d", s.MappingFaults),
+				fmt.Sprintf("%7d", s.ConsistencyFaults),
+				fmt.Sprintf("%7d", s.ModifyFaults),
+				fmt.Sprintf("%7d %6d", s.DFlushPages, avg(s.DFlushCycles, s.DFlushPages)),
+				fmt.Sprintf("%7d %6d", s.DPurgePages, avg(s.DPurgeCycles, s.DPurgePages)),
+				fmt.Sprintf("%7d %6d", s.IPurgePages, avg(s.IPurgeCycles, s.IPurgePages)),
+				fmt.Sprintf("%7d", s.DMAReadFlushes),
+				fmt.Sprintf("%7d", s.DMAWritePurges),
+				fmt.Sprintf("%6d", s.DToICopies))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 func avg(cycles, n uint64) uint64 {
 	if n == 0 {
 		return 0

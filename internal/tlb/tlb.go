@@ -238,6 +238,24 @@ func (t *TLB) InvalidatePage(space arch.SpaceID, vpn arch.VPN) {
 	}
 }
 
+// InvalidateSpace drops every cached translation belonging to one
+// address space — the migration shootdown: when the kernel moves a
+// process to another CPU, the CPU it left must retain no translations
+// of the migrating space. Counted as a single shootdown like
+// InvalidateAll (one IPI, however many entries it clears).
+func (t *TLB) InvalidateSpace(space arch.SpaceID) {
+	t.stats.Shootdowns++
+	for i := range t.slots {
+		if t.slots[i].valid && t.slots[i].key.space == space {
+			t.slots[i].valid = false
+			delete(t.index, t.slots[i].key)
+			if t.last == i {
+				t.lastValid = false
+			}
+		}
+	}
+}
+
 // InvalidateAll flushes the whole TLB.
 func (t *TLB) InvalidateAll() {
 	t.stats.Shootdowns++

@@ -113,6 +113,31 @@ func TestSpacesAreDistinct(t *testing.T) {
 	}
 }
 
+// TestInvalidateSpace: a migration shootdown drops every translation
+// of one space — and only that space — in a single shootdown event.
+func TestInvalidateSpace(t *testing.T) {
+	tl, w, _ := rig()
+	tl.Lookup(1, 1, w)
+	tl.Lookup(1, 2, w)
+	tl.Lookup(2, 1, w)
+	before := tl.Stats()
+	tl.InvalidateSpace(1)
+	s := tl.Stats()
+	if s.Shootdowns != before.Shootdowns+1 {
+		t.Errorf("shootdowns = %d, want %d (one per space invalidation)", s.Shootdowns, before.Shootdowns+1)
+	}
+	walks := w.walks
+	tl.Lookup(2, 1, w)
+	if w.walks != walks {
+		t.Error("space 2 entry lost to space 1's shootdown")
+	}
+	tl.Lookup(1, 1, w)
+	tl.Lookup(1, 2, w)
+	if w.walks != walks+2 {
+		t.Errorf("space 1 entries survived the shootdown (%d walks, want %d)", w.walks, walks+2)
+	}
+}
+
 func TestLRUEviction(t *testing.T) {
 	tl, w, _ := rig()
 	for i := arch.VPN(10); i < 14; i++ {

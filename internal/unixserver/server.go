@@ -142,6 +142,17 @@ func (s *Server) Attach(proc *vm.Space, cpu int) error {
 	return nil
 }
 
+// SetCPU rebinds a process' channel to the CPU it now runs on. The
+// kernel calls this on migration: Transaction runs the process' side of
+// the exchange on ch.cpu, so a stale binding would keep charging the
+// process' channel traffic to a CPU it left — exactly the
+// misattribution bug the scheduler made observable.
+func (s *Server) SetCPU(proc *vm.Space, cpu int) {
+	if ch, ok := s.chans[proc.ID]; ok {
+		ch.cpu = cpu
+	}
+}
+
 // Detach tears down a process' channel.
 func (s *Server) Detach(proc *vm.Space) {
 	ch, ok := s.chans[proc.ID]

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 
 	"vcache/internal/kernel"
@@ -55,6 +57,70 @@ func TestMultiprocessorBenchmarks(t *testing.T) {
 	}
 	if new_.PM.DFlushPages >= old.PM.DFlushPages {
 		t.Errorf("on 2 CPUs, F flushes (%d) not below A (%d)", new_.PM.DFlushPages, old.PM.DFlushPages)
+	}
+}
+
+// TestMPFastPathIdentity proves the multiprocessor bulk zero/copy fast
+// paths are exact: with the preemption scheduler migrating processes
+// between CPUs, a full run with fast paths enabled must produce a
+// Result deep-equal to the same run through the word-at-a-time
+// reference path. The hoisted per-line peer snoops must reproduce the
+// reference's cross-CPU write-backs and invalidations bit for bit —
+// cycles, stats, fault counts, everything.
+func TestMPFastPathIdentity(t *testing.T) {
+	cpuCounts := []int{2, 4}
+	if testing.Short() {
+		cpuCounts = []int{2}
+	}
+	for _, cpus := range cpuCounts {
+		for _, cfg := range policy.Configs() {
+			t.Run(fmt.Sprintf("%s/%dcpu", cfg.Label, cpus), func(t *testing.T) {
+				run := func(disable bool) Result {
+					kc := kernel.DefaultConfig(cfg)
+					kc.Machine.CPUs = cpus
+					// The oracle records every word, so its presence
+					// (correctly) disables the bulk paths — turn it off
+					// on both sides or the comparison is vacuous.
+					kc.Machine.WithOracle = false
+					kc.Machine.DisableFastPaths = disable
+					kc.Sched = kernel.SchedConfig{Quantum: 20000, Seed: 3}
+					r, err := Run(Stress(17, 400), cfg, Full(), kc)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return r
+				}
+				fast, slow := run(false), run(true)
+				if !reflect.DeepEqual(fast, slow) {
+					t.Errorf("fast-path Result differs from DisableFastPaths reference:\nfast: %+v\nslow: %+v", fast, slow)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelBroadcastIdentity proves the one-goroutine-per-CPU
+// broadcast simulator is invisible in the results: the staged
+// flush/purge halves run concurrently, the applies serially in CPU
+// index order, and the Result must be deep-equal to the serial
+// simulator's on the same migrating MP run.
+func TestParallelBroadcastIdentity(t *testing.T) {
+	for _, cfg := range []policy.Config{policy.Old(), policy.New()} {
+		run := func(parallel bool) Result {
+			kc := kernel.DefaultConfig(cfg)
+			kc.Machine.CPUs = 4
+			kc.Machine.ParallelBroadcast = parallel
+			kc.Sched = kernel.SchedConfig{Quantum: 20000, Seed: 3}
+			r, err := Run(Stress(29, 400), cfg, Full(), kc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		serial, parallel := run(false), run(true)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("%s: parallel-broadcast Result differs from serial simulator", cfg.Label)
+		}
 	}
 }
 
