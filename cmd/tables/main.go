@@ -18,6 +18,7 @@
 //	tables -mp           # the multiprocessor table (1/2/4 CPUs × A–F)
 //	tables -cpus 4       # run the standard tables on a 4-CPU machine
 //	tables -parallel-sim # broadcast ops use one goroutine per simulated CPU
+//	tables -configs F,RLT,HYB  # restrict Table 4 to these configuration rows
 //	tables -scale 0.3    # scale the workloads down for a quick look
 //	tables -j 8          # run up to 8 simulations in parallel
 //	tables -v            # log per-run progress to stderr
@@ -30,6 +31,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"vcache/internal/harness"
@@ -76,6 +78,7 @@ func main() {
 	mp := flag.Bool("mp", false, "print only the multiprocessor table (1/2/4 CPUs × A–F)")
 	cpus := flag.Int("cpus", 1, "simulated CPU count for the standard tables (>1 adds deterministic preemption)")
 	parallelSim := flag.Bool("parallel-sim", false, "run broadcast cache ops on one goroutine per simulated CPU (byte-identical results)")
+	configsFlag := flag.String("configs", "", "comma-separated configuration labels for Table 4 rows (default: A-F plus the peer backends; valid: "+policy.Labels()+")")
 	factor := flag.Float64("scale", 1.0, "workload scale factor (1.0 = full)")
 	writes := flag.Int("writes", 200000, "alias microbenchmark write count")
 	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS)")
@@ -85,6 +88,7 @@ func main() {
 	scale := workload.Scale{Name: "custom", Factor: *factor}
 	all := !*micro && !*analysis && !*sweep && !*mp && *table == 0
 	kc := mpKernel(*cpus, *parallelSim)
+	configs := table4Configs(*configsFlag)
 
 	// Ctrl-C cancels the in-flight plan: running simulations stop at
 	// their next kernel operation and surface as structured RunErrors.
@@ -120,7 +124,7 @@ func main() {
 		fmt.Println()
 	}
 	if all || *table == 4 {
-		fmt.Print(table4(ctx, runner, scale, kc))
+		fmt.Print(table4(ctx, runner, scale, kc, configs))
 	}
 	if all || *table == 5 {
 		fmt.Print(table5(ctx, runner, kc))
@@ -133,6 +137,27 @@ func main() {
 	if all || *analysis {
 		fmt.Print(analysis51(ctx, runner, scale, kc))
 	}
+}
+
+// table4Configs resolves the -configs selection for Table 4. The empty
+// default is the cumulative A–F series plus the peer consistency
+// backends; an explicit list is resolved label by label through
+// policy.ByLabel, and an unknown label aborts with the resolver's own
+// error (naming the valid set) and a non-zero exit — never a silent
+// fallback to some other configuration.
+func table4Configs(spec string) []policy.Config {
+	if spec == "" {
+		return append(policy.Configs(), policy.PeerBackends()...)
+	}
+	var configs []policy.Config
+	for _, label := range strings.Split(spec, ",") {
+		cfg, err := policy.ByLabel(strings.TrimSpace(label))
+		if err != nil {
+			log.Fatal(err)
+		}
+		configs = append(configs, cfg)
+	}
+	return configs
 }
 
 // withKernel applies one kernel override to every spec of a plan (nil
@@ -156,14 +181,14 @@ func table1(ctx context.Context, r *harness.Runner, scale workload.Scale, kc *ke
 	return report.Table1(pairs)
 }
 
-func table4(ctx context.Context, r *harness.Runner, scale workload.Scale, kc *kernel.Config) string {
+func table4(ctx context.Context, r *harness.Runner, scale workload.Scale, kc *kernel.Config, configs []policy.Config) string {
 	benchmarks := workload.Benchmarks()
-	plan := harness.Matrix(benchmarks, policy.Configs(), scale)
+	plan := harness.Matrix(benchmarks, configs, scale)
 	// The CXL-PCC scenario rides along as one more row group: the same
 	// sharing patterns under explicit flush/purge maintenance, measured
-	// beside A–F on the same machine. It is a replay program, so the run
-	// is exactly its published op list.
-	for _, cfg := range policy.Configs() {
+	// beside the selected configurations on the same machine. It is a
+	// replay program, so the run is exactly its published op list.
+	for _, cfg := range configs {
 		w, err := replay.CXLPCCWorkload(cfg.Label, scale)
 		if err != nil {
 			log.Fatal(err)
@@ -174,7 +199,7 @@ func table4(ctx context.Context, r *harness.Runner, scale workload.Scale, kc *ke
 	results := mustResults(r.RunContext(ctx, plan))
 	var names []string
 	var grouped [][]workload.Result
-	per := len(policy.Configs())
+	per := len(configs)
 	for i, w := range benchmarks {
 		names = append(names, w.Name)
 		grouped = append(grouped, results[i*per:(i+1)*per])
@@ -185,7 +210,7 @@ func table4(ctx context.Context, r *harness.Runner, scale workload.Scale, kc *ke
 }
 
 func table5(ctx context.Context, r *harness.Runner, kc *kernel.Config) string {
-	systems := policy.Table5Systems()
+	systems := append(policy.Table5Systems(), policy.PeerBackends()...)
 	var plan harness.Plan
 	for _, cfg := range systems {
 		plan = append(plan, harness.Spec{Workload: workload.Stress(42, 1500), Config: cfg, Scale: workload.Full()})

@@ -51,6 +51,7 @@ import (
 	"log"
 	"os"
 
+	"vcache/internal/core"
 	"vcache/internal/harness"
 	"vcache/internal/kernel"
 	"vcache/internal/policy"
@@ -64,7 +65,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vcachesim: ")
 	name := flag.String("workload", "kernel-build", "benchmark to run (see -list)")
-	cfgName := flag.String("config", "F", "configuration label: A..F, CMU, Utah, Tut, Apollo, Sun")
+	cfgName := flag.String("config", "F", "configuration label, one of: "+policy.Labels())
 	factor := flag.Float64("scale", 1.0, "workload scale factor")
 	list := flag.Bool("list", false, "list workloads and configurations")
 	traceN := flag.Int("trace", 0, "print the last N consistency events of the run")
@@ -92,7 +93,7 @@ func main() {
 			fmt.Printf("  %s\n", w.Name)
 		}
 		fmt.Println("configurations:")
-		for _, c := range append(policy.Configs(), policy.Table5Systems()...) {
+		for _, c := range policy.All() {
 			fmt.Printf("  %-7s %s\n", c.Label, c.Name)
 		}
 		return
@@ -266,9 +267,13 @@ func printResult(r workload.Result) {
 	fmt.Printf("elapsed:   %.3f simulated seconds (%d cycles)\n\n", r.Seconds, r.Cycles)
 
 	fmt.Println("cycles by category:")
-	for _, cat := range []sim.Category{sim.CatAccess, sim.CatFlush, sim.CatPurge, sim.CatFault, sim.CatDMA, sim.CatCompute} {
+	cats := []sim.Category{sim.CatAccess, sim.CatFlush, sim.CatPurge, sim.CatFault, sim.CatDMA, sim.CatCompute}
+	if r.Config.Features.Backend == core.BackendRLT {
+		cats = append(cats, sim.CatRLT, sim.CatRLTEvict)
+	}
+	for _, cat := range cats {
 		c := r.CyclesBy[cat]
-		fmt.Printf("  %-8s %12d (%5.1f%%)\n", cat, c, pct(c, r.Cycles))
+		fmt.Printf("  %-9s %12d (%5.1f%%)\n", cat, c, pct(c, r.Cycles))
 	}
 
 	s := r.PM
@@ -287,6 +292,18 @@ func printResult(r workload.Result) {
 	fmt.Printf("  d→i copies      %8d\n", s.DToICopies)
 	fmt.Printf("  zero-fills      %8d\n", s.ZeroFills)
 	fmt.Printf("  page copies     %8d\n", s.PageCopies)
+
+	switch r.Config.Features.Backend {
+	case core.BackendRLT:
+		fmt.Println("\nreverse-lookup table:")
+		fmt.Printf("  assists     %8d\n", s.RLTAssists)
+		fmt.Printf("  inserts     %8d\n", s.RLTInserts)
+		fmt.Printf("  evictions   %8d\n", s.RLTEvictions)
+	case core.BackendHybrid:
+		fmt.Println("\nhybrid update/invalidate:")
+		fmt.Printf("  update switches %8d\n", s.HybridUpdateSwitches)
+		fmt.Printf("  reverts         %8d\n", s.HybridReverts)
+	}
 
 	fmt.Println("\nI/O:")
 	fmt.Printf("  disk reads   %8d\n", r.Disk.Reads)

@@ -136,6 +136,11 @@ const (
 	// DoPurge — the line/page must be invalidated without write-back
 	// before the operation proceeds.
 	DoPurge
+	// DoRemap — a hardware reverse-lookup structure re-binds the line to
+	// the operation's virtual address instead of software removing it
+	// (the RLT-VIVT backend; see backend.go). Functionally equivalent to
+	// the flush/purge it replaces, but charged at lookup cost.
+	DoRemap
 )
 
 func (a Action) String() string {
@@ -146,6 +151,8 @@ func (a Action) String() string {
 		return "flush"
 	case DoPurge:
 		return "purge"
+	case DoRemap:
+		return "remap"
 	default:
 		return fmt.Sprintf("Action(%d)", uint8(a))
 	}

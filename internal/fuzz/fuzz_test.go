@@ -235,3 +235,37 @@ func TestCampaign(t *testing.T) {
 		}
 	}
 }
+
+// TestCampaignRejectsMixedBackends: a campaign accumulates one
+// coverage map and a map is bound to one backend's transition tables,
+// so configurations running different backends cannot share a
+// campaign. The error must arrive before any program executes.
+func TestCampaignRejectsMixedBackends(t *testing.T) {
+	_, err := Run(context.Background(), Options{Seed: 1, Configs: []string{"F", "RLT"}})
+	if err == nil {
+		t.Fatal("Run accepted a campaign mixing consistency backends")
+	}
+	if _, err := Run(context.Background(), Options{Seed: 1, Configs: []string{"F", "nope"}}); err == nil {
+		t.Fatal("Run accepted an unknown configuration label")
+	}
+}
+
+// TestCampaignSingleBackend: a campaign under one peer backend runs
+// end to end with its coverage map bound to that backend.
+func TestCampaignSingleBackend(t *testing.T) {
+	rep, err := Run(context.Background(), Options{Seed: 1, Budget: 5, Configs: []string{"RLT"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Coverage.Backend(); got != core.BackendRLT {
+		t.Fatalf("campaign coverage bound to %v, want RLT", got)
+	}
+	if rep.Coverage.Covered() == 0 {
+		t.Error("RLT campaign covered no cells")
+	}
+	for _, f := range rep.Findings {
+		if f.Violating {
+			t.Errorf("finding %s: oracle violation under RLT", f.Program.Origin.Workload)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+
+	"vcache/internal/core"
+	"vcache/internal/harness"
+	"vcache/internal/policy"
+	"vcache/internal/workload"
+)
+
+// TestCoverageBackendMismatchRejected: attaching a coverage map bound
+// to one consistency backend to a run under another must fail before
+// the measured phase — a CMU map silently accumulating RLT cells would
+// misattribute transition-table rows.
+func TestCoverageBackendMismatchRejected(t *testing.T) {
+	spec := harness.Spec{
+		Workload: workload.Stress(3, 50),
+		Config:   policy.RLT(),
+		Scale:    workload.Small(),
+		Coverage: core.NewCoverage(), // CMU-bound: wrong for an RLT run
+	}
+	_, _, err := harness.Exec(spec)
+	if err == nil {
+		t.Fatal("Exec accepted a coverage map bound to the wrong backend")
+	}
+	if !strings.Contains(err.Error(), "misattributed") {
+		t.Errorf("error does not explain the misattribution: %v", err)
+	}
+
+	// The correctly bound map works and accumulates cells.
+	cov := core.NewCoverageFor(core.BackendRLT)
+	spec.Coverage = cov
+	if _, _, err := harness.Exec(spec); err != nil {
+		t.Fatal(err)
+	}
+	if cov.Covered() == 0 {
+		t.Error("RLT-bound coverage map observed no cells")
+	}
+}

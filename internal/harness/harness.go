@@ -256,6 +256,10 @@ func measure(s Spec, k *kernel.Kernel, ph *Phases) (Result, *trace.Recorder, err
 		}
 	}
 	if s.Coverage != nil {
+		if got, want := s.Coverage.Backend(), s.Config.Features.Backend; got != want {
+			return Result{}, nil, fmt.Errorf("%s/%s: coverage map is bound to backend %v but the run uses %v — cells would be misattributed; build the map with core.NewCoverageFor",
+				s.Workload.Name, s.Config.Label, got, want)
+		}
 		k.PM.SetCoverage(s.Coverage)
 	}
 	start := time.Now()
@@ -293,7 +297,7 @@ func resetAll(k *kernel.Kernel) {
 // Collect snapshots every counter into a Result.
 func Collect(name string, cfg policy.Config, k *kernel.Kernel) Result {
 	by := make(map[sim.Category]uint64)
-	for _, cat := range []sim.Category{sim.CatAccess, sim.CatFlush, sim.CatPurge, sim.CatFault, sim.CatDMA, sim.CatCompute} {
+	for _, cat := range []sim.Category{sim.CatAccess, sim.CatFlush, sim.CatPurge, sim.CatFault, sim.CatDMA, sim.CatCompute, sim.CatRLT, sim.CatRLTEvict} {
 		by[cat] = k.M.Clock.CyclesIn(cat)
 	}
 	pageOuts, swapIns, textDrops := k.VM.SwapStats()

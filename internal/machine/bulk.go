@@ -38,8 +38,14 @@ import (
 
 // canBulkData reports whether the machine-level bulk data paths apply.
 func (m *Machine) canBulkData() bool {
-	return !m.noFast && m.Oracle == nil && m.cpus[0].DCache.CanBulk()
+	return !m.noFast && !m.noBulk && m.Oracle == nil && m.cpus[0].DCache.CanBulk()
 }
+
+// BulkDataEnabled exposes the bulk-path guard for the backend
+// fast-path safety test: a backend that declares itself bulk-ineligible
+// must observably have the paths off (modulo the oracle, which forces
+// the slow path regardless).
+func (m *Machine) BulkDataEnabled() bool { return !m.noFast && !m.noBulk }
 
 // snoopTail performs the per-line peer snoops for the tail of a bulk
 // page operation: every line of the page at (va, pa) except line 0,

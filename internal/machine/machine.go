@@ -168,6 +168,11 @@ type Machine struct {
 	// pit the fast paths against the word-at-a-time reference.
 	noFast bool
 
+	// noBulk disables only the bulk page data paths, leaving the
+	// micro-TLB probe on. Set for consistency backends that have not
+	// proven the bulk identity (Config.DisableBulkData).
+	noBulk bool
+
 	// parallel runs broadcast maintenance stages on one goroutine per
 	// CPU (Config.ParallelBroadcast with CPUs > 1).
 	parallel bool
@@ -197,6 +202,12 @@ type Config struct {
 	// paths). The fast paths are observation-identical, so this exists
 	// only for benchmarking them and for the identity tests proving it.
 	DisableFastPaths bool
+	// DisableBulkData disables only the bulk page zero/copy paths,
+	// keeping the micro-TLB probe. kernel.New sets it for any
+	// consistency backend whose Backend.BulkEligible() is false — the
+	// guard that makes "ineligible backend" mean "provably on the exact
+	// slow path" rather than "hopefully unaffected".
+	DisableBulkData bool
 	// ParallelBroadcast runs the per-CPU halves of the broadcast
 	// maintenance operations (FlushDPage, PurgeDPage, PurgeIPage) on one
 	// goroutine per CPU, with the shared-state effects staged and applied
@@ -246,6 +257,7 @@ func New(cfg Config) (*Machine, error) {
 		Clock:      clock,
 		maxRetries: 16,
 		noFast:     cfg.DisableFastPaths,
+		noBulk:     cfg.DisableBulkData,
 		parallel:   cfg.ParallelBroadcast && cfg.CPUs > 1,
 	}
 	for i := 0; i < cfg.CPUs; i++ {

@@ -50,7 +50,9 @@ func (p *Pmap) Access(space arch.SpaceID, vpn arch.VPN, acc machine.Access, newM
 	c := p.dcolor(vpn)
 	p.observe(op, f, c)
 	p.accessIsNew = newMapping
+	p.rltCPUOp = true
 	p.ctl.CacheControl(f, &pp.state, c, op, core.Options{NeedData: true})
+	p.rltCPUOp = false
 	p.accessIsNew = false
 
 	if op == core.CPUWrite {
@@ -65,6 +67,7 @@ func (p *Pmap) Access(space arch.SpaceID, vpn arch.VPN, acc machine.Access, newM
 	if !p.feat.LazyUnmap {
 		p.eagerResolveStale(pp, f)
 	}
+	p.hybridApplyPending()
 	return nil
 }
 
@@ -91,12 +94,15 @@ func (p *Pmap) ModifyFault(space arch.SpaceID, vpn arch.VPN) error {
 	p.observe(core.CPUWrite, f, c)
 	if !p.ctl.NoteModified(&pp.state, c) {
 		p.accessIsNew = false
+		p.rltCPUOp = true
 		p.ctl.CacheControl(f, &pp.state, c, core.CPUWrite, core.Options{NeedData: true})
+		p.rltCPUOp = false
 	}
 	p.noteFrameWritten(pp)
 	if !p.feat.LazyUnmap {
 		p.eagerResolveStale(pp, f)
 	}
+	p.hybridApplyPending()
 	return nil
 }
 

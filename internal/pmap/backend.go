@@ -1,0 +1,268 @@
+package pmap
+
+import (
+	"vcache/internal/arch"
+	"vcache/internal/core"
+	"vcache/internal/sim"
+	"vcache/internal/trace"
+)
+
+// This file is the runtime half of the peer consistency backends
+// (core/backend.go is the model half): the reverse-lookup synonym
+// table of the RLT-VIVT backend and the write-run mode switching of
+// the HYBRID backend. Both are cost/attribution models layered on the
+// same functional state machine — the cache and memory contents under
+// any backend are identical to the CMU scheme's, which is what keeps
+// the oracle, the replay closure, and the fast-path identity proofs
+// meaningful across backends:
+//
+//   - RLT-VIVT: a consistency operation that hardware would satisfy by
+//     re-binding the line's tag is still *performed* (the state machine
+//     and the data need the same end state), but its cycles are
+//     refunded and replaced by one RLT lookup charge (sim.CatRLT).
+//   - HYBRID: a page in update mode is uncached (memory is always
+//     current — the update propagation), reusing the Sun variant's
+//     uncached machinery; invalidate mode is the unmodified algorithm.
+//
+// installBackendHooks is called from New and from snapshot Clone (the
+// controller hook and RLT occupancy are per-pmap state).
+
+// rltCapacity is the number of physical pages the simulated
+// reverse-lookup table tracks. The RLT covers pages with live synonyms
+// (two or more simultaneous mappings); synonym working sets are small,
+// so a modest structure suffices and overflowing it is the interesting
+// measurable event.
+const rltCapacity = 64
+
+// hybridWriteRunThreshold is how many dirty-page displacements by a
+// differently-colored CPU access a synonym page tolerates before the
+// write-run heuristic declares the invalidate scheme pathological and
+// switches the page to update mode.
+const hybridWriteRunThreshold = 3
+
+// rltState is the reverse-lookup table occupancy: FIFO over frames
+// with live synonyms.
+type rltState struct {
+	capacity int
+	order    []arch.PFN
+	set      map[arch.PFN]struct{}
+}
+
+func newRLTState(capacity int) *rltState {
+	return &rltState{capacity: capacity, set: make(map[arch.PFN]struct{}, capacity)}
+}
+
+func (r *rltState) has(f arch.PFN) bool {
+	_, ok := r.set[f]
+	return ok
+}
+
+func (r *rltState) clone() *rltState {
+	r2 := newRLTState(r.capacity)
+	r2.order = append(r2.order, r.order...)
+	for f := range r.set {
+		r2.set[f] = struct{}{}
+	}
+	return r2
+}
+
+// installBackendHooks applies the backend's runtime configuration to
+// this pmap. Idempotent; called from New and after snapshot Clone
+// (controller hooks are deliberately not carried across Clone).
+func (p *Pmap) installBackendHooks() {
+	switch p.feat.Backend {
+	case core.BackendRLT:
+		if p.rlt == nil {
+			p.rlt = newRLTState(rltCapacity)
+		}
+	case core.BackendHybrid:
+		p.ctl.SetDirtyDisplacedHook(p.hybridDirtyDisplaced)
+	}
+}
+
+// rltAssisted reports whether the consistency operation now being
+// issued is covered by the RLT: the table is present, the operation is
+// driven by a CPU access (device-driven flushes/purges cannot be
+// remapped away — the device reads memory, not the cache), and the
+// frame has a live entry.
+func (p *Pmap) rltAssisted(f arch.PFN) bool {
+	return p.rlt != nil && p.rltCPUOp && p.rlt.has(f)
+}
+
+// rltAssist performs the functional flush/purge and converts its cost
+// into one reverse-lookup assist: the cycles the software operation
+// charged are refunded and a single RLT lookup is charged to
+// sim.CatRLT. Memory, cache, and consistency state end exactly as
+// under the software scheme; only the attribution differs.
+func (p *Pmap) rltAssist(c arch.CachePage, f arch.PFN, flush bool) {
+	cat := sim.CatPurge
+	kind := trace.EvPurge
+	if flush {
+		cat = sim.CatFlush
+		kind = trace.EvFlush
+	}
+	before := p.m.Clock.CyclesIn(cat)
+	if flush {
+		p.m.FlushDPage(c, f)
+	} else {
+		p.m.PurgeDPage(c, f)
+	}
+	p.m.Clock.Refund(cat, p.m.Clock.CyclesIn(cat)-before)
+	p.m.Clock.Charge(sim.CatRLT, p.m.Clock.Timing().RLTAssist)
+	p.stats.RLTAssists++
+	p.emit(kind, f, c, "rlt")
+}
+
+// rltEnsure gives frame f an RLT entry once it has live synonyms,
+// evicting the oldest entry if the table is full. Called from Enter.
+func (p *Pmap) rltEnsure(f arch.PFN) {
+	if p.rlt == nil {
+		return
+	}
+	if len(p.phys[f].mappings) < 2 || p.rlt.has(f) {
+		return
+	}
+	p.rlt.order = append(p.rlt.order, f)
+	p.rlt.set[f] = struct{}{}
+	p.stats.RLTInserts++
+	if len(p.rlt.order) > p.rlt.capacity {
+		victim := p.rlt.order[0]
+		p.rlt.order = p.rlt.order[1:]
+		delete(p.rlt.set, victim)
+		p.rltEvict(victim)
+	}
+}
+
+// rltDrop removes frame f's entry without cleaning: when the synonym
+// set collapses (Remove) or the page dies (FreeFrame), the remaining
+// single mapping is plain VIVT and software's lazy scheme takes over.
+func (p *Pmap) rltDrop(f arch.PFN) {
+	if p.rlt == nil || !p.rlt.has(f) {
+		return
+	}
+	delete(p.rlt.set, f)
+	for i, v := range p.rlt.order {
+		if v == f {
+			p.rlt.order = append(p.rlt.order[:i], p.rlt.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// rltEvict handles a capacity eviction: the victim's synonym lines can
+// no longer be re-bound in hardware, so software must clean the frame
+// now. The flush/purge work is real (the total cycle count keeps it)
+// but is re-attributed to sim.CatRLTEvict so the tables show the cost
+// of undersizing the structure.
+func (p *Pmap) rltEvict(f arch.PFN) {
+	pp := &p.phys[f]
+	fb := p.m.Clock.CyclesIn(sim.CatFlush)
+	pb := p.m.Clock.CyclesIn(sim.CatPurge)
+	p.cleanFrame(pp, f, true)
+	if d := p.m.Clock.CyclesIn(sim.CatFlush) - fb; d > 0 {
+		p.m.Clock.Move(sim.CatFlush, sim.CatRLTEvict, d)
+	}
+	if d := p.m.Clock.CyclesIn(sim.CatPurge) - pb; d > 0 {
+		p.m.Clock.Move(sim.CatPurge, sim.CatRLTEvict, d)
+	}
+	p.stats.RLTEvictions++
+}
+
+// hybridDirtyDisplaced is the controller's stanza-2 hook under the
+// HYBRID backend: each time a CPU access through one color displaces
+// the page's dirty data cached under another color, the page's writer
+// alternated — the access pattern invalidate-based schemes are worst
+// at. Crossing the write-run threshold queues the page for a switch to
+// update mode; the switch itself must not run inside CacheControl
+// (stanzas 3–6 still read the state), so it is applied from
+// hybridApplyPending after the algorithm returns.
+func (p *Pmap) hybridDirtyDisplaced(f arch.PFN, w arch.CachePage, op core.Operation) {
+	if op != core.CPURead && op != core.CPUWrite {
+		return
+	}
+	pp := &p.phys[f]
+	if pp.uncached || p.synonymColors(pp) < 2 {
+		return
+	}
+	pp.hybridAlt++
+	if pp.hybridAlt >= hybridWriteRunThreshold {
+		p.hybridPending = append(p.hybridPending, f)
+	}
+}
+
+// synonymColors counts the distinct data-cache colors among frame
+// mappings — two or more means unaligned synonyms exist.
+func (p *Pmap) synonymColors(pp *physPage) int {
+	var seen core.BitVec
+	for _, m := range pp.mappings {
+		seen.Set(m.CachePage)
+	}
+	return seen.Count()
+}
+
+// hybridApplyPending applies queued update-mode switches. Conditions
+// are re-checked: the algorithm run that queued the switch may itself
+// have changed the page's mapping set or mode.
+func (p *Pmap) hybridApplyPending() {
+	if len(p.hybridPending) == 0 {
+		return
+	}
+	pending := p.hybridPending
+	p.hybridPending = p.hybridPending[:0]
+	for _, f := range pending {
+		pp := &p.phys[f]
+		if pp.uncached || pp.hybridAlt < hybridWriteRunThreshold || p.synonymColors(pp) < 2 {
+			continue
+		}
+		p.hybridSwitchToUpdate(pp, f)
+	}
+}
+
+// hybridSwitchToUpdate puts frame f into update mode: both caches are
+// cleaned (the D side via cleanFrame, the I side by purging every
+// mapped or stale page — unlike Sun, hybrid pages can later revert to
+// cached, so no stale I-line may survive the uncached epoch), then the
+// frame and all its translations become uncacheable. Memory is current
+// from here on — every store goes straight through, which is the
+// "update" propagation of the hybrid protocol.
+func (p *Pmap) hybridSwitchToUpdate(pp *physPage, f arch.PFN) {
+	p.cleanFrame(pp, f, true)
+	ip := pp.iMapped | pp.iStale
+	ip.ForEach(func(c arch.CachePage) { p.purgeICachePage(c, f) })
+	pp.iMapped, pp.iStale = 0, 0
+	pp.uncached = true
+	pp.hybridAlt = 0
+	for _, m := range pp.mappings {
+		if te := p.tables[m.Space][m.VPN]; te != nil {
+			te.uncached = true
+			p.m.InvalidateTLB(m.Space, m.VPN)
+		}
+	}
+	p.stats.HybridUpdateSwitches++
+}
+
+// hybridReevaluate runs when a mapping is removed: once the synonym
+// set collapses to a single color the write-run evidence is void, and
+// an update-mode page reverts to cached operation. The page left
+// update mode with both caches empty and memory current, and stayed
+// that way (uncached accesses touch neither cache), so reverting is
+// pure bookkeeping: re-enable caching and force the next access
+// through the algorithm.
+func (p *Pmap) hybridReevaluate(pp *physPage, f arch.PFN) {
+	if p.feat.Backend != core.BackendHybrid || p.synonymColors(pp) >= 2 {
+		return
+	}
+	pp.hybridAlt = 0
+	if !pp.uncached {
+		return
+	}
+	pp.uncached = false
+	for _, m := range pp.mappings {
+		if te := p.tables[m.Space][m.VPN]; te != nil && te.uncached {
+			te.uncached = false
+			p.m.InvalidateTLB(m.Space, m.VPN)
+			p.SetProtection(m, arch.ProtNone)
+		}
+	}
+	p.stats.HybridReverts++
+}

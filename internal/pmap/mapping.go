@@ -53,9 +53,16 @@ func (p *Pmap) Enter(space arch.SpaceID, vpn arch.VPN, f arch.PFN, maxProt arch.
 		case policy.VariantSun:
 			p.sunEnter(pp, f, e)
 		}
-	} else if pp.uncached {
+	}
+	// A frame currently bypassing the cache (Sun unaligned aliases,
+	// hybrid update mode) extends its uncached-ness to every new
+	// mapping, windows included. (sunEnter already marks its own new
+	// mapping; re-marking is idempotent.)
+	if pp.uncached {
 		e.uncached = true
 	}
+	// The reverse-lookup table tracks frames with live synonyms.
+	p.rltEnsure(f)
 }
 
 // tutEnter applies the Tut rule: if the new virtual address for a page is
@@ -150,6 +157,14 @@ func (p *Pmap) Remove(space arch.SpaceID, vpn arch.VPN) {
 	delete(pp.kinds, m)
 	pp.lastVPN = vpn
 	pp.hasLast = true
+
+	// Backend bookkeeping at synonym collapse: the RLT entry is dropped
+	// (a single mapping needs no reverse lookup) and a hybrid page's
+	// write-run evidence — and update mode, if entered — is reset.
+	if len(pp.mappings) < 2 {
+		p.rltDrop(f)
+	}
+	p.hybridReevaluate(pp, f)
 
 	if p.feat.LazyUnmap || pp.uncached {
 		return
@@ -251,6 +266,8 @@ func (p *Pmap) FreeFrame(f arch.PFN) {
 		panic(fmt.Sprintf("pmap: freeing frame %d with %d live mappings", f, len(pp.mappings)))
 	}
 	pp.uncached = false
+	pp.hybridAlt = 0
+	p.rltDrop(f)
 	if !p.feat.LazyUnmap {
 		// needData=false: the page is being recycled; its dirty data
 		// is dead. The eager configurations lack the need_data

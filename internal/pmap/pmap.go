@@ -92,7 +92,11 @@ type physPage struct {
 	lastVPN arch.VPN
 	hasLast bool
 
-	uncached bool // Sun variant: frame is currently non-cacheable
+	uncached bool // Sun variant / hybrid update mode: frame is non-cacheable
+
+	// hybridAlt counts dirty-page displacements by differently-colored
+	// CPU accesses (the HYBRID backend's write-run evidence).
+	hybridAlt uint32
 }
 
 // Stats counts the events the paper's Table 4 reports.
@@ -116,6 +120,15 @@ type Stats struct {
 	ZeroFills        uint64
 	PageCopies       uint64
 	AlignedAllocHits uint64 // colored free list handed out an aligned frame
+
+	// RLT-VIVT backend counters.
+	RLTAssists   uint64 // flush/purge work satisfied by a reverse-lookup assist
+	RLTInserts   uint64 // synonym pages given an RLT entry
+	RLTEvictions uint64 // capacity evictions forcing a software clean
+
+	// HYBRID backend counters.
+	HybridUpdateSwitches uint64 // pages switched to update (uncached) mode
+	HybridReverts        uint64 // pages reverted to invalidate (cached) mode
 }
 
 // Pmap is the machine-dependent VM layer. It is not safe for concurrent
@@ -148,6 +161,15 @@ type Pmap struct {
 	// mapping, for purge-cause attribution (Section 5.1: ~80% of
 	// purges stem from new mappings).
 	accessIsNew bool
+
+	// Backend runtime state (backend.go). rlt is the reverse-lookup
+	// table occupancy (RLT backend only); rltCPUOp marks that the
+	// consistency operations now being issued are driven by a CPU
+	// access and therefore assistable; hybridPending queues update-mode
+	// switches the controller hook may not apply mid-algorithm.
+	rlt           *rltState
+	rltCPUOp      bool
+	hybridPending []arch.PFN
 }
 
 // New creates the pmap over machine m with frame allocator alloc and the
@@ -166,6 +188,7 @@ func New(m *machine.Machine, alloc *mem.Allocator, feat policy.Features) *Pmap {
 	p.iColors = m.ICache.CachePages()
 	p.ctl = core.NewController(p, p)
 	p.windows = newWindowPool(p.geom)
+	p.installBackendHooks()
 	m.SetWalker(p)
 	return p
 }
@@ -181,8 +204,18 @@ func (p *Pmap) Tracer() *trace.Recorder { return p.tracer }
 
 // SetCoverage attaches a Table 2 consistency-state coverage map (nil
 // detaches). Like the tracer it is per-run state: Clone does not carry
-// it, and the harness attaches it after any snapshot fork.
-func (p *Pmap) SetCoverage(cv *core.Coverage) { p.cov = cv }
+// it, and the harness attaches it after any snapshot fork. The map
+// must be bound to the running backend — cells derived here encode the
+// backend's table invariants, so attaching a mismatched map would
+// silently misattribute them (the harness surfaces this as an error
+// before it can reach the panic).
+func (p *Pmap) SetCoverage(cv *core.Coverage) {
+	if cv != nil && cv.Backend() != p.feat.Backend {
+		panic(fmt.Sprintf("pmap: coverage map bound to backend %v attached to a %v run",
+			cv.Backend(), p.feat.Backend))
+	}
+	p.cov = cv
+}
 
 // observe records the Table 2 cells one consistency-algorithm
 // invocation exercises, from frame f's pre-transition state. It must
@@ -260,8 +293,14 @@ func (p *Pmap) icolor(vpn arch.VPN) arch.CachePage {
 }
 
 // FlushCachePage implements core.Hardware: flush frame f's lines from
-// data-cache page c, metering cycles.
+// data-cache page c, metering cycles. Under the RLT backend a
+// CPU-driven flush of a covered frame becomes a reverse-lookup assist
+// (backend.go).
 func (p *Pmap) FlushCachePage(c arch.CachePage, f arch.PFN) {
+	if p.rltAssisted(f) {
+		p.rltAssist(c, f, true)
+		return
+	}
 	before := p.m.Clock.Cycles()
 	p.m.FlushDPage(c, f)
 	p.stats.DFlushPages++
@@ -270,8 +309,13 @@ func (p *Pmap) FlushCachePage(c arch.CachePage, f arch.PFN) {
 }
 
 // PurgeCachePage implements core.Hardware: purge frame f's lines from
-// data-cache page c, metering cycles.
+// data-cache page c, metering cycles. Under the RLT backend a
+// CPU-driven purge of a covered frame becomes a reverse-lookup assist.
 func (p *Pmap) PurgeCachePage(c arch.CachePage, f arch.PFN) {
+	if p.rltAssisted(f) {
+		p.rltAssist(c, f, false)
+		return
+	}
 	before := p.m.Clock.Cycles()
 	p.m.PurgeDPage(c, f)
 	p.stats.DPurgePages++

@@ -52,7 +52,16 @@ func (p *Pmap) Clone(m2 *machine.Machine) *Pmap {
 			}
 		}
 	}
+	if p.rlt != nil {
+		p2.rlt = p.rlt.clone()
+	}
+	if p.hybridPending != nil {
+		p2.hybridPending = append([]arch.PFN(nil), p.hybridPending...)
+	}
 	p2.ctl = p.ctl.Clone(p2, p2)
+	// Controller hooks are not carried by ctl.Clone (they close over
+	// the originating pmap); reinstall them against the fork.
+	p2.installBackendHooks()
 	m2.SetWalker(p2)
 	return p2
 }

@@ -21,7 +21,12 @@
 // strategies built from the same machinery.
 package policy
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+
+	"vcache/internal/core"
+)
 
 // Variant selects a fundamentally different consistency style for the
 // Table 5 comparison (the A–F configurations all use VariantCMU).
@@ -86,6 +91,13 @@ type Features struct {
 
 	// Variant selects the Table 5 strategy; VariantCMU for A–F.
 	Variant Variant
+
+	// Backend selects the consistency-management backend
+	// (core.BackendCMU for every paper configuration; the peer
+	// backends of ROADMAP item 3 — RLT-VIVT, HYBRID — plug in here).
+	// Orthogonal to Variant: Variant approximates another OS's use of
+	// the same software scheme, Backend swaps the scheme itself.
+	Backend core.BackendKind
 }
 
 // Config is a named configuration.
@@ -211,13 +223,63 @@ func Table5Systems() []Config {
 	return []Config{CMU(), Utah(), Tut(), Apollo(), Sun()}
 }
 
-// ByLabel looks a configuration up by its Table 4/5 label (A..F, CMU,
-// Utah, Tut, Apollo, Sun).
+// Peer consistency backends (ROADMAP item 3): alternative
+// synonym-management schemes reported side-by-side with A–F and the
+// Table 5 systems. Both run the full F feature set so differences in
+// the tables isolate the backend, not the software optimizations.
+
+// RLT is a VIVT cache with a hardware reverse-lookup synonym table
+// (arXiv 2108.00444): synonym remaps hit the RLT and re-bind lines
+// instead of software flushing/purging; software pays only for RLT
+// capacity evictions.
+func RLT() Config {
+	c := ConfigF()
+	c.Label, c.Name = "RLT", "RLT-VIVT (reverse-lookup synonym table)"
+	c.Features.Backend = core.BackendRLT
+	return c
+}
+
+// Hybrid selects update/invalidate transitions per page by a write-run
+// heuristic (arXiv 1502.00101): pages whose synonyms alternate writers
+// switch to update mode (uncached, memory always current) and revert
+// when the synonym set collapses.
+func Hybrid() Config {
+	c := ConfigF()
+	c.Label, c.Name = "HYB", "hybrid update/invalidate (write-run)"
+	c.Features.Backend = core.BackendHybrid
+	return c
+}
+
+// PeerBackends returns the non-CMU consistency backends as selectable
+// configurations.
+func PeerBackends() []Config {
+	return []Config{RLT(), Hybrid()}
+}
+
+// All returns every selectable configuration: the lettered A–F series,
+// the Table 5 systems, and the peer consistency backends.
+func All() []Config {
+	return append(append(Configs(), Table5Systems()...), PeerBackends()...)
+}
+
+// Labels returns the comma-separated list of every selectable label,
+// for CLI/service error messages and usage strings.
+func Labels() string {
+	all := All()
+	parts := make([]string, len(all))
+	for i, c := range all {
+		parts[i] = c.Label
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ByLabel looks a configuration up by its label (the Table 4/5 labels
+// plus the peer-backend labels; see Labels).
 func ByLabel(label string) (Config, error) {
-	for _, c := range append(Configs(), Table5Systems()...) {
+	for _, c := range All() {
 		if c.Label == label {
 			return c, nil
 		}
 	}
-	return Config{}, fmt.Errorf("policy: unknown configuration %q", label)
+	return Config{}, fmt.Errorf("policy: unknown configuration %q (valid: %s)", label, Labels())
 }

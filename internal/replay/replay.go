@@ -40,6 +40,14 @@ func Parse(ex trace.Export) (*Program, error) {
 	if ex.Dropped > 0 {
 		return nil, fmt.Errorf("replay: export dropped %d events; the op stream is incomplete", ex.Dropped)
 	}
+	// Validate the origin's configuration label here, at parse time: a
+	// corrupted or unknown label must be a hard error immediately, not
+	// a deferred one (and never a silent fallback to some default
+	// spec) — the program's ops were recorded under that exact
+	// configuration's consistency behavior.
+	if _, err := policy.ByLabel(ex.Origin.Config); err != nil {
+		return nil, fmt.Errorf("replay: origin config: %w", err)
+	}
 	pr := &Program{Origin: *ex.Origin, TraceN: ex.Retained}
 	for _, e := range ex.Events {
 		if e.Kind != trace.EvOp {

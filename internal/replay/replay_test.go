@@ -236,3 +236,56 @@ func TestUnboundReferenceFails(t *testing.T) {
 		t.Fatal("replay of a dangling pid reference succeeded")
 	}
 }
+
+// TestClosurePeerBackends proves the record→replay→re-export closure
+// for the peer consistency backends: a run recorded under RLT-VIVT or
+// the hybrid update/invalidate policy replays to a DeepEqual Result
+// and a byte-identical re-exported trace — including the backend's own
+// counters and cycle categories.
+func TestClosurePeerBackends(t *testing.T) {
+	workloads := []string{"stress-42"}
+	if !testing.Short() {
+		workloads = append(workloads, "afs-bench")
+	}
+	for _, cfg := range policy.PeerBackends() {
+		for _, name := range workloads {
+			t.Run(cfg.Label+"/"+name, func(t *testing.T) {
+				w, err := workload.ByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				spec := harness.Spec{
+					Workload: w,
+					Config:   cfg,
+					Scale:    workload.Small(),
+					TraceN:   1 << 16,
+				}
+				if err := VerifyClosure(context.Background(), spec); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestParseRejectsUnknownConfig pins the hard-error-at-parse-time
+// contract: a recorded trace whose origin names a configuration label
+// this build does not know (a corrupted file, or an export from a
+// newer build) must fail in Parse — before any simulation state exists
+// — and never fall back silently to some other configuration.
+func TestParseRejectsUnknownConfig(t *testing.T) {
+	ev := []trace.Event{{Kind: trace.EvOp, Note: "sync"}}
+	for _, label := range []string{"ZZZ", "rlt", "f"} { // unknown; labels are case-sensitive
+		o := &trace.Origin{Workload: "x", Config: label}
+		if _, err := Parse(trace.Export{Origin: o, Events: ev}); err == nil {
+			t.Errorf("Parse accepted unknown config label %q", label)
+		}
+	}
+	// The new backend labels themselves parse.
+	for _, label := range []string{"RLT", "HYB"} {
+		o := &trace.Origin{Workload: "x", Config: label}
+		if _, err := Parse(trace.Export{Origin: o, Events: ev}); err != nil {
+			t.Errorf("Parse rejected backend label %q: %v", label, err)
+		}
+	}
+}

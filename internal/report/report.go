@@ -145,11 +145,16 @@ func Table3() string {
 }
 
 // Table4 renders the configuration sweep: one block per benchmark, one
-// row per configuration A–F. results[w][c] is benchmark w under config c.
+// row per configuration (the cumulative A–F series plus, by default,
+// the peer consistency backends RLT and HYB). results[w][c] is
+// benchmark w under config c. Rows run under a non-CMU backend carry a
+// sub-line with the backend's own counters (reverse-lookup assists and
+// evictions, hybrid mode switches).
 func Table4(benchNames []string, results [][]workload.Result) string {
 	var b strings.Builder
 	b.WriteString("Table 4: Performance of three benchmark programs under cumulative\n")
-	b.WriteString("consistency-management configurations (simulated 50 MHz HP 9000/720)\n\n")
+	b.WriteString("consistency-management configurations and peer consistency backends\n")
+	b.WriteString("(simulated 50 MHz HP 9000/720)\n\n")
 	for wi, name := range benchNames {
 		b.WriteString(name + "\n")
 		row(&b, fmt.Sprintf("  %-24s", "configuration"),
@@ -166,7 +171,7 @@ func Table4(benchNames []string, results [][]workload.Result) string {
 			fmt.Sprintf("%7s", "flush"), fmt.Sprintf("%7s", "purge"), fmt.Sprintf("%6s", "copy"))
 		for _, r := range results[wi] {
 			s := r.PM
-			row(&b, fmt.Sprintf("  %-1s %-22.22s", r.Config.Label, r.Config.Name),
+			row(&b, fmt.Sprintf("  %-3s %-20.20s", r.Config.Label, r.Config.Name),
 				fmt.Sprintf("%8.2f", r.Seconds),
 				fmt.Sprintf("%7d", s.MappingFaults),
 				fmt.Sprintf("%7d", s.ConsistencyFaults),
@@ -177,10 +182,28 @@ func Table4(benchNames []string, results [][]workload.Result) string {
 				fmt.Sprintf("%7d", s.DMAReadFlushes),
 				fmt.Sprintf("%7d", s.DMAWritePurges),
 				fmt.Sprintf("%6d", s.DToICopies))
+			if line := backendLine(r); line != "" {
+				b.WriteString(line)
+			}
 		}
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// backendLine renders the per-backend counter sub-line for a result run
+// under a non-CMU consistency backend, or "" for CMU rows.
+func backendLine(r workload.Result) string {
+	s := r.PM
+	switch r.Config.Features.Backend {
+	case core.BackendRLT:
+		return fmt.Sprintf("      backend %s: assists %d  inserts %d  evictions %d\n",
+			core.BackendRLT, s.RLTAssists, s.RLTInserts, s.RLTEvictions)
+	case core.BackendHybrid:
+		return fmt.Sprintf("      backend %s: update-switches %d  reverts %d\n",
+			core.BackendHybrid, s.HybridUpdateSwitches, s.HybridReverts)
+	}
+	return ""
 }
 
 // TableMP renders the multiprocessor sweep: one benchmark under every
@@ -209,7 +232,7 @@ func TableMP(bench string, cpuCounts []int, results [][]workload.Result) string 
 			fmt.Sprintf("%7s", "flush"), fmt.Sprintf("%7s", "purge"), fmt.Sprintf("%6s", "copy"))
 		for _, r := range results[ci] {
 			s := r.PM
-			row(&b, fmt.Sprintf("  %-1s %-22.22s", r.Config.Label, r.Config.Name),
+			row(&b, fmt.Sprintf("  %-3s %-20.20s", r.Config.Label, r.Config.Name),
 				fmt.Sprintf("%8.2f", r.Seconds),
 				fmt.Sprintf("%7d", s.MappingFaults),
 				fmt.Sprintf("%7d", s.ConsistencyFaults),
@@ -233,12 +256,15 @@ func avg(cycles, n uint64) uint64 {
 	return cycles / n
 }
 
-// Table5 renders the functional comparison of the five systems plus a
-// measured column (flush+purge work on the randomized torture workload).
+// Table5 renders the functional comparison of the five systems — plus
+// the peer consistency backends (RLT-VIVT and the hybrid
+// update/invalidate policy) — with a measured column (flush+purge work
+// on the randomized torture workload).
 func Table5(measured map[string]workload.Result) string {
 	var b strings.Builder
 	b.WriteString("Table 5: Functional comparison of virtually-indexed-cache management\n")
-	b.WriteString("in five systems (measured column: randomized torture workload)\n\n")
+	b.WriteString("in five systems and two peer backends (measured column: randomized\n")
+	b.WriteString("torture workload)\n\n")
 	row(&b, fmt.Sprintf("%-8s", "System"),
 		fmt.Sprintf("%-9s", "unaligned"),
 		fmt.Sprintf("%-6s", "lazy"),
@@ -263,11 +289,16 @@ func Table5(measured map[string]workload.Result) string {
 		}
 		return "no"
 	}
-	for _, cfg := range policy.Table5Systems() {
+	for _, cfg := range append(policy.Table5Systems(), policy.PeerBackends()...) {
 		f := cfg.Features
 		aliases := "yes"
-		if f.Variant == policy.VariantSun {
+		switch {
+		case f.Variant == policy.VariantSun:
 			aliases = "uncached"
+		case f.Backend == core.BackendRLT:
+			aliases = "rlt"
+		case f.Backend == core.BackendHybrid:
+			aliases = "adaptive"
 		}
 		cells := []string{
 			fmt.Sprintf("%-8s", cfg.Label),

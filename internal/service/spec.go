@@ -115,11 +115,11 @@ func Resolve(req RunRequest) (*Resolved, error) {
 		return nil, fmt.Errorf("unknown workload %q (one of: %s)", req.Workload, workloadNames())
 	}
 	if req.Config == "" {
-		return nil, fmt.Errorf("missing config (A..F, CMU, Utah, Tut, Apollo, Sun)")
+		return nil, fmt.Errorf("missing config (one of: %s)", policy.Labels())
 	}
 	cfg, err := policy.ByLabel(req.Config)
 	if err != nil {
-		return nil, fmt.Errorf("unknown config %q (A..F, CMU, Utah, Tut, Apollo, Sun)", req.Config)
+		return nil, fmt.Errorf("unknown config %q (one of: %s)", req.Config, policy.Labels())
 	}
 	scale := req.Scale
 	if scale == 0 {

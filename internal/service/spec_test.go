@@ -126,3 +126,26 @@ func TestResultCacheLRU(t *testing.T) {
 		t.Fatalf("bytes after overwrite = %d, want 6", st.Bytes)
 	}
 }
+
+// TestResolvePeerBackendLabels: the peer backend configurations are
+// reachable through the service's config label, and resolve to content
+// keys distinct from each other and from configuration F — a cached F
+// result must never answer an RLT request.
+func TestResolvePeerBackendLabels(t *testing.T) {
+	keys := make(map[string]string)
+	for _, label := range []string{"F", "RLT", "HYB"} {
+		r, err := Resolve(RunRequest{Workload: "kernel-build", Config: label})
+		if err != nil {
+			t.Fatalf("Resolve(%s): %v", label, err)
+		}
+		if r.Spec.Config.Label != label {
+			t.Errorf("resolved label = %s, want %s", r.Spec.Config.Label, label)
+		}
+		for other, k := range keys {
+			if k == r.Key {
+				t.Errorf("%s and %s share a content key", label, other)
+			}
+		}
+		keys[label] = r.Key
+	}
+}

@@ -31,6 +31,14 @@ const (
 	// CatCompute is workload "think time" charged explicitly by
 	// benchmark drivers.
 	CatCompute
+	// CatRLT is reverse-lookup synonym-table assists (RLT-VIVT
+	// backend): the lookup cost paid where the CMU backend would have
+	// spent flush/purge cycles.
+	CatRLT
+	// CatRLTEvict is the software clean-up forced by RLT capacity
+	// evictions — real flush/purge work, attributed to the structure
+	// that caused it rather than to the ordinary flush/purge buckets.
+	CatRLTEvict
 	numCategories
 )
 
@@ -48,6 +56,10 @@ func (c Category) String() string {
 		return "dma"
 	case CatCompute:
 		return "compute"
+	case CatRLT:
+		return "rlt"
+	case CatRLTEvict:
+		return "rlt-evict"
 	default:
 		return "unknown"
 	}
@@ -70,6 +82,25 @@ func (c *Clock) Timing() Timing { return c.timing }
 func (c *Clock) Charge(cat Category, n uint64) {
 	c.cycles += n
 	c.byCat[cat] += n
+}
+
+// Refund removes n cycles previously charged to cat from both the
+// category and the total. Used by consistency backends that model
+// hardware doing work software already charged for (the RLT assist
+// path: the functional flush/purge happens for correctness, then its
+// cost is refunded and replaced by the assist charge). The caller must
+// only refund what it just measured being charged.
+func (c *Clock) Refund(cat Category, n uint64) {
+	c.cycles -= n
+	c.byCat[cat] -= n
+}
+
+// Move re-attributes n cycles from one category to another; the total
+// is unchanged. Used when real work should be reported under the
+// structure that caused it (RLT capacity evictions).
+func (c *Clock) Move(from, to Category, n uint64) {
+	c.byCat[from] -= n
+	c.byCat[to] += n
 }
 
 // Cycles returns the total cycles elapsed.

@@ -54,6 +54,14 @@ type Timing struct {
 	DMAPerWord uint64
 	// DiskAccess is the fixed latency of one disk block access.
 	DiskAccess uint64
+
+	// RLTAssist is the cost of one reverse-lookup synonym-table assist
+	// (RLT-VIVT backend): a hardware associative lookup plus tag
+	// re-bind, paid where the software scheme would flush or purge a
+	// whole cache page. Zero in profiles predating the backend is fine —
+	// assists then cost nothing, but the category split still shows
+	// where the work went.
+	RLTAssist uint64
 }
 
 // HP720Timing returns the default profile approximating the 50 MHz
@@ -74,6 +82,7 @@ func HP720Timing() Timing {
 		DMASetup:        2000,
 		DMAPerWord:      2,
 		DiskAccess:      60000,
+		RLTAssist:       6, // associative lookup + tag re-bind
 	}
 }
 
